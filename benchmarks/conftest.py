@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``-s`` or ``tee`` to capture).  Instruction limits
+default to quick-run sizes; set ``REPRO_FULL=1`` to run every kernel to
+completion (several minutes per figure, closest to the paper's setup).
+"""
+
+import os
+
+import pytest
+
+#: Dynamic-instruction cap for timing benchmarks in quick mode.
+QUICK_TIMING_LIMIT = 16_000
+#: Cap for trace-level (cache-filter) benchmarks in quick mode.
+QUICK_TRACE_LIMIT = 120_000
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture
+def timing_limit():
+    return None if full_run() else QUICK_TIMING_LIMIT
+
+
+@pytest.fixture
+def trace_limit():
+    return None if full_run() else QUICK_TRACE_LIMIT
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

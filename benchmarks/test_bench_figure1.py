@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 (ESP Massive Memory Machine)."""
+
+from conftest import run_once
+
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1_esp_operation(benchmark):
+    result = run_once(benchmark, run_figure1)
+    print()
+    print(format_figure1(result))
+    assert result.paper_schedule.receive_times == [1, 2, 3, 4, 7, 8, 9,
+                                                   12, 13]
+    assert result.paper_schedule.lead_changes == 2

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (pipelined broadcasts vs round trips)."""
+
+from conftest import run_once
+
+from repro.experiments import format_figure3, run_figure3
+
+
+def test_figure3_offchip_serialization(benchmark):
+    result = run_once(benchmark, run_figure3)
+    print()
+    print(format_figure3(result))
+    assert result.datascalar_crossings == 2
+    assert result.traditional_crossings == 8
+    assert result.datascalar_cycles < result.traditional_cycles

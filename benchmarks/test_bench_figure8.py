@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 8 (sensitivity analysis panels)."""
+
+import os
+
+from conftest import full_run, run_once
+
+from repro.experiments import PARAMETERS, format_figure8, run_figure8
+
+#: Reduced value grids for quick mode (full mode uses every value).
+QUICK_VALUES = {
+    "cache_size": [4 * 1024, 16 * 1024],
+    "memory_latency": [4, 32],
+    "bus_clock": [2, 16],
+    "bus_width": [2, 16],
+    "ruu_entries": [16, 256],
+}
+
+
+def test_figure8_sensitivity(benchmark):
+    limit = None if full_run() else 5000
+    values = None if full_run() else QUICK_VALUES
+    panels = run_once(benchmark, run_figure8, limit=limit,
+                      values_per_parameter=values)
+    print()
+    print(format_figure8(panels))
+    assert len(panels) == 2 * len(PARAMETERS)
+    for panel in panels:
+        for point in panel.points:
+            assert point.perfect_ipc >= point.datascalar2_ipc
+            assert point.datascalar4_ipc > 0
+    # The paper's convergence claim: as memory bank time dominates, the
+    # systems converge (measured on go; see EXPERIMENTS.md).
+    go_mem = next(p for p in panels
+                  if p.benchmark == "go" and p.parameter == "memory_latency")
+    first, last = go_mem.points[0], go_mem.points[-1]
+    gap_first = first.datascalar2_ipc / first.traditional_half_ipc
+    gap_last = last.datascalar2_ipc / last.traditional_half_ipc
+    assert abs(gap_last - 1.0) < abs(gap_first - 1.0) + 0.15

@@ -1,0 +1,18 @@
+"""Benchmark: node-count scaling (Section 4.4's scalability question)."""
+
+from conftest import run_once
+
+from repro.experiments import format_scaling, run_scaling
+
+
+def test_scaling_with_node_count(benchmark, timing_limit):
+    points = run_once(benchmark, run_scaling, "compress",
+                      node_counts=(1, 2, 4, 8), limit=timing_limit)
+    print()
+    print(format_scaling(points))
+    multi = [p for p in points if p.num_nodes >= 2]
+    # ESP traffic is constant in node count...
+    assert len({p.broadcasts for p in multi}) == 1
+    # ...so the DataScalar advantage grows as the traditional machine's
+    # on-chip fraction shrinks.
+    assert multi[-1].speedup > multi[0].speedup

@@ -1,0 +1,63 @@
+"""Benchmark: the cost of the perfect-branch-prediction assumption.
+
+The paper assumes perfect prediction and notes its correspondence
+protocol "does not currently support speculative broadcasts".  This
+bench measures what that buys: DataScalar with a real (bimodal)
+predictor, with and without the conservative commit-time broadcast
+buffering a speculation-safe protocol would need.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import DataScalarSystem
+from repro.experiments import datascalar_config, timing_node_config
+from repro.workloads import build_program
+
+LIMIT = 10_000
+
+
+def test_speculation_cost(benchmark):
+    def run():
+        rows = []
+        for name in ("go", "compress"):
+            program = build_program(name)
+            node = timing_node_config()
+            perfect = DataScalarSystem(
+                datascalar_config(2, node=node)).run(program, limit=LIMIT)
+            bp_cpu = dataclasses.replace(node.cpu,
+                                         branch_predictor="bimodal")
+            bp_node = dataclasses.replace(node, cpu=bp_cpu)
+            predicted = DataScalarSystem(
+                datascalar_config(2, node=bp_node)).run(program, limit=LIMIT)
+            spec_node = dataclasses.replace(bp_node,
+                                            commit_time_broadcasts=True)
+            buffered = DataScalarSystem(
+                datascalar_config(2, node=spec_node)).run(program,
+                                                          limit=LIMIT)
+            mispredict = predicted.nodes[0].pipeline.misprediction_rate
+            rows.append((name, perfect, predicted, buffered, mispredict))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    table_rows = []
+    for name, perfect, predicted, buffered, mispredict in rows:
+        table_rows.append([
+            name,
+            round(perfect.ipc, 3),
+            round(predicted.ipc, 3),
+            round(buffered.ipc, 3),
+            f"{mispredict:.1%}",
+        ])
+    print(format_table(
+        ["benchmark", "perfect BP", "bimodal BP",
+         "bimodal + buffered bcasts", "mispredict rate"],
+        table_rows,
+        title="Extension: cost of the perfect-prediction assumption "
+              "(DataScalar, 2 nodes)",
+    ))
+    for name, perfect, predicted, buffered, _ in rows:
+        assert perfect.ipc >= predicted.ipc >= buffered.ipc * 0.95, name

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (off-chip traffic reduced by ESP)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_traffic_reduction(benchmark, trace_limit):
+    rows = run_once(benchmark, run_table1, limit=trace_limit)
+    print()
+    print(format_table1(rows))
+    # Paper-shape assertions: transaction elimination is always >= 50%,
+    # byte elimination lands in a sane band.
+    for row in rows:
+        assert row.transactions_eliminated >= 0.5
+        assert 0.0 <= row.bytes_eliminated < 0.8

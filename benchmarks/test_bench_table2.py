@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (datathread measurements, 4 nodes)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table2, run_table2
+
+
+def test_table2_datathreads(benchmark, trace_limit):
+    rows = run_once(benchmark, run_table2, limit=trace_limit)
+    print()
+    print(format_table2(rows))
+    by_name = {row.benchmark: row for row in rows}
+    # Paper shapes: fpppp's replicated text gives the longest text
+    # threads; the interleaved-array FP codes have short data threads.
+    assert by_name["fpppp"].thread_text == max(
+        row.thread_text for row in rows)
+    for name in ("swim", "mgrid"):
+        assert by_name[name].thread_data < 50

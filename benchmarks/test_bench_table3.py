@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 3 (DataScalar broadcast statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_table3_broadcast_statistics(benchmark, timing_limit):
+    rows = run_once(benchmark, run_table3, limit=timing_limit)
+    print()
+    print(format_table3(rows))
+    for row in rows:
+        assert row.total_broadcasts > 0
+        assert 0.0 <= row.late_broadcasts <= 0.8
+        assert 0.0 <= row.bshr_squashes <= 0.8

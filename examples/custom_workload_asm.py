@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Author a workload in textual assembly and sweep machine parameters.
+
+Shows the other front door to the simulator: instead of the Python
+builder DSL, write the kernel as assembly text, assemble it, and run a
+Figure-8-style sensitivity sweep of the off-chip bus clock on it.
+
+Run:  python examples/custom_workload_asm.py
+"""
+
+from repro import DataScalarSystem, TraditionalSystem
+from repro.experiments import (
+    datascalar_config,
+    timing_bus_config,
+    timing_node_config,
+    traditional_config,
+)
+from repro.isa import assemble
+
+HISTOGRAM_KERNEL = """
+; histogram: count value buckets over a table, then rescan the counts.
+.alloc table 16384          ; 4096 input words
+.alloc bins  1024           ; 256 bucket counters
+
+        li   r1, table
+        li   r5, 255
+        li   r2, 4096       ; elements
+loop:
+        lw   r3, r1, 0      ; value
+        and  r4, r3, r5     ; bucket = value & 255
+        slli r4, r4, 2
+        addi r4, r4, 0
+        li   r6, bins
+        add  r4, r4, r6
+        lw   r7, r4, 0      ; counter
+        addi r7, r7, 1
+        sw   r7, r4, 0      ; store it back (read-modify-write)
+        addi r1, r1, 4
+        addi r2, r2, -1
+        bgt  r2, r0, loop
+
+        li   r1, bins       ; rescan the bins
+        li   r2, 256
+        li   r8, 0
+scan:
+        lw   r3, r1, 0
+        add  r8, r8, r3
+        addi r1, r1, 4
+        addi r2, r2, -1
+        bgt  r2, r0, scan
+        halt
+"""
+
+
+def main() -> None:
+    program = assemble(HISTOGRAM_KERNEL, name="histogram")
+    # Give the input table some values.
+    table_base = 0x1000_0000
+    builder_view = program.data_image
+    for index in range(4096):
+        builder_view[table_base + 4 * index] = (index * 2654435761) & 0xFFFF
+
+    node = timing_node_config(dcache_bytes=2048)
+    print("bus clock sweep (processor cycles per bus cycle):\n")
+    print(f"{'divisor':>8} {'DataScalar-2 IPC':>18} {'traditional IPC':>16}")
+    for divisor in (2, 4, 8, 16):
+        bus = timing_bus_config(cycles_per_bus_cycle=divisor)
+        ds = DataScalarSystem(
+            datascalar_config(2, node=node, bus=bus)).run(program)
+        trad = TraditionalSystem(
+            traditional_config(2, node=node, bus=bus)).run(program)
+        print(f"{divisor:>8} {ds.ipc:>18.3f} {trad.ipc:>16.3f}")
+    print("\nAn instructive *loss* for DataScalar: the histogram's hot")
+    print("bucket array fits on the traditional chip, so it never goes")
+    print("off-chip there — while ESP must still broadcast every input")
+    print("line to the other node.  DataScalar pays off when the working")
+    print("set exceeds what one chip can hold (see quickstart.py and the")
+    print("Figure 7 benchmarks); small hot data favors the traditional")
+    print("machine, exactly the go-like behavior in the paper's results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Analyses: ESP traffic accounting, statistics, cost model, reports."""
+
+from .cost import CostModel
+from .export import rows_to_csv, rows_to_json, write_csv, write_json
+from .timeline import Timeline, TimelineRecorder, TimelineSample
+from .report import format_ipc, format_percent, format_table
+from .stats import (
+    RunningMean,
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    speedup,
+)
+from .traffic import TABLE1_CACHE, TrafficReport, measure_esp_traffic
+
+__all__ = [
+    "CostModel",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_csv",
+    "write_json",
+    "Timeline",
+    "TimelineRecorder",
+    "TimelineSample",
+    "format_ipc",
+    "format_percent",
+    "format_table",
+    "RunningMean",
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "speedup",
+    "TABLE1_CACHE",
+    "TrafficReport",
+    "measure_esp_traffic",
+]

@@ -1,0 +1,63 @@
+"""Export experiment rows to CSV/JSON for downstream plotting.
+
+Every ``run_*`` driver returns dataclass rows; these helpers flatten
+them generically so new experiments export without bespoke code.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+
+
+def _flatten(row) -> dict:
+    """Dataclass (or mapping) -> flat dict of scalar fields."""
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        raw = dataclasses.asdict(row)
+    elif isinstance(row, dict):
+        raw = dict(row)
+    else:
+        raise TypeError(f"cannot export row of type {type(row).__name__}")
+    flat = {}
+    for key, value in raw.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            flat[key] = value
+        # Nested structures (full result objects) are dropped: exports
+        # carry the scalar series the paper plots.
+    return flat
+
+
+def rows_to_csv(rows, extra_columns=None) -> str:
+    """Render dataclass rows as CSV text (header + one line per row)."""
+    flats = [_flatten(row) for row in rows]
+    if extra_columns:
+        for flat, extras in zip(flats, extra_columns):
+            flat.update(extras)
+    if not flats:
+        return ""
+    fieldnames = list(flats[0])
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for flat in flats:
+        writer.writerow({k: flat.get(k, "") for k in fieldnames})
+    return buffer.getvalue()
+
+
+def rows_to_json(rows, indent: int = 2) -> str:
+    """Render dataclass rows as a JSON array."""
+    return json.dumps([_flatten(row) for row in rows], indent=indent)
+
+
+def write_csv(path, rows) -> None:
+    """Write rows to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        handle.write(rows_to_csv(rows))
+
+
+def write_json(path, rows) -> None:
+    """Write rows to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(rows_to_json(rows))

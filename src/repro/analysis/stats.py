@@ -1,0 +1,64 @@
+"""Small statistics helpers used across analyses and experiments."""
+
+from __future__ import annotations
+
+import math
+
+
+def arithmetic_mean(values) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean of positive values; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+class RunningMean:
+    """Streaming mean/min/max accumulator."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def add(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Classic speedup: baseline time over improved time."""
+    if improved_cycles <= 0:
+        raise ValueError("improved_cycles must be positive")
+    return baseline_cycles / improved_cycles

@@ -1,0 +1,94 @@
+"""Cycle-sampled timelines of a DataScalar run.
+
+Attach a :class:`TimelineRecorder` to ``DataScalarSystem.run(observer=…)``
+to sample per-node progress (commits, BSHR/DCUB occupancy) and
+interconnect load over time — the raw series behind utilization plots
+and behind diagnosing convoying between nodes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimelineSample:
+    """One sampling instant."""
+
+    cycle: int
+    committed: "list[int]"
+    bshr_occupancy: "list[int]"
+    dcub_occupancy: "list[int]"
+    broadcasts_sent: "list[int]"
+    bus_transactions: int
+
+
+@dataclass
+class Timeline:
+    """The collected series."""
+
+    samples: "list[TimelineSample]" = field(default_factory=list)
+
+    def series(self, name: str, node=None):
+        """Extract one series: a scalar field, or a per-node field with
+        ``node`` selecting the element."""
+        out = []
+        for sample in self.samples:
+            value = getattr(sample, name)
+            if isinstance(value, list):
+                if node is None:
+                    raise ValueError(f"{name} is per-node; pass node=")
+                value = value[node]
+            out.append(value)
+        return out
+
+    def cycles(self):
+        return [sample.cycle for sample in self.samples]
+
+    def commit_skew(self):
+        """Max-min committed count per sample — how far ahead the leader
+        runs (the datathreading skew)."""
+        return [max(s.committed) - min(s.committed) for s in self.samples]
+
+    def to_csv(self) -> str:
+        if not self.samples:
+            return ""
+        nodes = len(self.samples[0].committed)
+        fields = (["cycle"]
+                  + [f"committed_{i}" for i in range(nodes)]
+                  + [f"bshr_{i}" for i in range(nodes)]
+                  + [f"dcub_{i}" for i in range(nodes)]
+                  + [f"broadcasts_{i}" for i in range(nodes)]
+                  + ["bus_transactions"])
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(fields)
+        for s in self.samples:
+            writer.writerow([s.cycle, *s.committed, *s.bshr_occupancy,
+                             *s.dcub_occupancy, *s.broadcasts_sent,
+                             s.bus_transactions])
+        return buffer.getvalue()
+
+
+class TimelineRecorder:
+    """The observer: pass to ``DataScalarSystem.run(observer=recorder)``."""
+
+    def __init__(self, sample_every: int = 200):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.timeline = Timeline()
+
+    def __call__(self, cycle, pipelines, nodes, medium) -> None:
+        if cycle % self.sample_every:
+            return
+        self.timeline.samples.append(TimelineSample(
+            cycle=cycle,
+            committed=[p.stats.committed for p in pipelines],
+            bshr_occupancy=[n.bshr.occupancy() for n in nodes],
+            dcub_occupancy=[n.dcub.occupancy() for n in nodes],
+            broadcasts_sent=[n.broadcaster.stats.sent for n in nodes],
+            bus_transactions=medium.transactions,
+        ))

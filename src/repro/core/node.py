@@ -1,0 +1,222 @@
+"""One DataScalar node: the Figure 5 datapath.
+
+A node couples an out-of-order core with split L1 caches, fast on-chip
+main memory holding its fraction of the program's data, BSHRs on the
+receive side, a broadcast queue on the transmit side, a DCUB realizing
+commit-time cache updates, and the correspondence tracker that reconciles
+issue-time and commit-time cache outcomes.
+
+Memory behaviour per the execution model:
+
+* replicated pages — loads and stores complete locally; no traffic.
+* owned communicated pages — a canonical load miss reads local memory and
+  *broadcasts* the line (eagerly at issue, or reparatively at commit after
+  a false hit); stores complete locally and are never sent.
+* unowned communicated pages — a load miss waits in the BSHR for the
+  owner's broadcast (no request is ever sent); stores are dropped.
+"""
+
+from __future__ import annotations
+
+from ..cpu.interface import LoadHandle, MemoryInterface
+from ..memory.cache import Cache
+from ..memory.mainmem import BankedMemory
+from ..memory.page_table import PageTable
+from ..params import NodeConfig
+from .bshr import BSHRFile
+from .broadcast import Broadcaster
+from .correspondence import CorrespondenceTracker
+from .dcub import DCUB
+
+
+class _PrimaryHandle(LoadHandle):
+    """The load that initiates a line fetch; resolving it resolves the
+    DCUB entry (waking every merged access)."""
+
+    __slots__ = ("entry",)
+
+    def __init__(self, addr, size, issued_at, entry):
+        super().__init__(addr, size, issued_at)
+        self.entry = entry
+
+    def complete(self, cycle: int) -> None:
+        super().complete(cycle)
+        self.entry.resolve(cycle)
+
+
+class DataScalarNode(MemoryInterface):
+    """The per-chip memory system behind one core."""
+
+    def __init__(self, node_id: int, config: NodeConfig,
+                 page_table: PageTable, medium, deliver,
+                 num_peers: int = 1):
+        self.node_id = node_id
+        self.config = config
+        self.page_table = page_table
+        self.icache = Cache(config.icache, name=f"i{node_id}")
+        self.dcache = Cache(config.dcache, name=f"d{node_id}")
+        self.local_mem = BankedMemory(
+            config.memory.onchip_latency,
+            num_banks=config.memory.num_banks,
+            interleave_bytes=config.dcache.line_size,
+            name=f"mem{node_id}",
+        )
+        self.bshr = BSHRFile(config.bshr, name=f"bshr{node_id}")
+        self.dcub = DCUB(name=f"dcub{node_id}")
+        if config.tlb_entries:
+            from ..memory.tlb import TLB
+
+            # TLB misses walk the locked page table in local memory.
+            self.dtlb = TLB(config.tlb_entries, walker=self.local_mem,
+                            name=f"dtlb{node_id}")
+        else:
+            self.dtlb = None
+        self.tracker = CorrespondenceTracker()
+        self.broadcaster = Broadcaster(
+            node_id, medium, config.broadcast_queue_latency,
+            config.dcache.line_size, deliver, num_peers=num_peers,
+        )
+        #: Loads that bypassed the cache but still update it at commit.
+        self.remote_loads = 0
+        self.local_loads = 0
+        self.dropped_stores = 0
+        self.local_stores = 0
+
+    # ------------------------------------------------------------------
+    # Issue side.
+    # ------------------------------------------------------------------
+    def load_issue(self, now: int, addr: int, size: int) -> LoadHandle:
+        if self.dtlb is not None:
+            now = self.dtlb.access(now, addr,
+                                   self.config.memory.page_size)
+        line = self.dcache.line_addr(addr)
+        hit_latency = self.config.dcache.hit_latency
+        if self.dcache.lookup(addr):
+            handle = LoadHandle(addr, size, now)
+            handle.issue_hit = True
+            handle.complete(now + hit_latency)
+            return handle
+        entry = self.dcub.lookup(line)
+        if entry is not None:
+            handle = LoadHandle(addr, size, now)
+            handle.issue_hit = False
+            handle.dcub_line = line
+            self.dcub.merge(entry, now, handle)
+            return handle
+        entry = self.dcub.allocate(line, now)  # refs=1 for the primary
+        handle = _PrimaryHandle(addr, size, now, entry)
+        handle.issue_hit = False
+        handle.dcub_line = line
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_loads += 1
+            done = self.local_mem.access(now + hit_latency, line)
+            if not pte.replicated and not self.config.commit_time_broadcasts:
+                # Owner of a communicated line: eager ESP broadcast.
+                # (With commit_time_broadcasts the send is deferred to
+                # commit — the conservative speculative-broadcast mode —
+                # and happens via the canonical-miss settlement path.)
+                self.broadcaster.broadcast(done, line, late=False)
+                self.tracker.note_broadcast_sent(line)
+            handle.complete(done)
+        else:
+            self.remote_loads += 1
+            self.tracker.note_bshr_wait(line)
+            self.bshr.load(now, line, handle)
+        return handle
+
+    def private_load_issue(self, now: int, addr: int,
+                           size: int) -> LoadHandle:
+        """Section 5.1 private load: local memory, no protocol activity.
+
+        Private loads exist only at the region's owner (other nodes skip
+        the region), so they must not touch the correspondence-managed
+        cache state — otherwise caches would diverge."""
+        handle = LoadHandle(addr, size, now)
+        handle.complete(self.local_mem.access(now, addr))
+        self.local_loads += 1
+        return handle
+
+    # ------------------------------------------------------------------
+    # Commit side: canonical cache update + correspondence settlement.
+    # ------------------------------------------------------------------
+    def commit_mem(self, now: int, addr: int, size: int, is_store: bool,
+                   handle) -> None:
+        line = self.dcache.line_addr(addr)
+        canonical_hit = self.dcache.lookup(addr)
+        result = self.dcache.commit_access(addr, is_write=is_store)
+        if result.writeback is not None:
+            self._complete_writeback(now, result.writeback)
+        if handle is not None and handle.dcub_line is not None:
+            self.dcub.release(handle.dcub_line)
+        if not is_store and handle is not None and handle.issue_hit is not None:
+            self.tracker.classify(handle.issue_hit, canonical_hit)
+        if is_store:
+            self._complete_store(now, addr, size, canonical_hit)
+        filled = result.filled
+        if filled and not canonical_hit:
+            self._settle_canonical_miss(now, addr, line)
+
+    def _settle_canonical_miss(self, now: int, addr: int, line: int) -> None:
+        """A canonical line fetch committed: balance broadcasts against
+        waits so every broadcast has exactly one consumer per node."""
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated:
+            return
+        if pte.owner == self.node_id:
+            if self.tracker.settle_canonical_miss_owner(line):
+                available = self.local_mem.access(now, line)
+                self.broadcaster.broadcast(available, line, late=True)
+        else:
+            if self.tracker.settle_canonical_miss_nonowner(line):
+                self.bshr.schedule_discard(line)
+
+    def _complete_store(self, now: int, addr: int, size: int,
+                        cached: bool) -> None:
+        """Stores complete only where the data lives (paper Section 2);
+        they never generate interconnect traffic."""
+        if cached:
+            return  # completes in the cache; write-back handles memory
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_stores += 1
+            self.local_mem.access(now, addr)  # occupies a bank, no stall
+        else:
+            self.dropped_stores += 1
+
+    def _complete_writeback(self, now: int, line: int) -> None:
+        """Dirty evictions: written to local memory at the owner (or
+        everywhere for replicated lines), dropped at non-owners."""
+        pte = self.page_table.entry_for(line)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_mem.access(now, line)
+        else:
+            self.dropped_stores += 1
+
+    # ------------------------------------------------------------------
+    # Instruction fetch (text replicated at every node).
+    # ------------------------------------------------------------------
+    def ifetch_line(self, now: int, line_addr: int) -> int:
+        result = self.icache.commit_access(line_addr, is_write=False)
+        if result.hit:
+            return now
+        return self.local_mem.access(now, line_addr)
+
+    # ------------------------------------------------------------------
+    # End-of-run validation.
+    # ------------------------------------------------------------------
+    def drain(self, now: int) -> bool:
+        return True
+
+    def validate_final_state(self) -> None:
+        """Raise :class:`ProtocolError` if the protocol leaked state."""
+        from ..errors import ProtocolError
+
+        self.bshr.assert_drained()
+        self.dcub.assert_drained()
+        unmatched = self.tracker.unmatched_waits()
+        if unmatched:
+            raise ProtocolError(
+                f"node {self.node_id}: {unmatched} BSHR waits never matched "
+                f"a canonical miss — correspondence accounting leak"
+            )

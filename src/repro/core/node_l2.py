@@ -1,0 +1,188 @@
+"""Dynamic replication at a second-level cache (the paper's footnote 4).
+
+"It is possible to use lower levels of a multi-level cache hierarchy to
+perform dynamic replication.  We chose to use only the level-one caches
+because our particular solution requires a tight coupling of the cache
+tags and the load/store queue."  This node builds the alternative: a
+unified on-chip L2 holds the dynamically-replicated data, giving a much
+larger replication pool (fewer broadcasts for re-referenced lines) at
+the price of an extra on-chip level on every L1 miss.
+
+Correspondence still holds level by level: the L1 updates only at commit,
+so its canonical miss stream is identical at every node; that stream is
+the L2's canonical access sequence, so L2 contents correspond too, and
+the owner/consumer broadcast ledgers (same machinery as the L1-only
+node) balance at L2 granularity.
+"""
+
+from __future__ import annotations
+
+from ..cpu.interface import LoadHandle, MemoryInterface
+from ..memory.cache import Cache
+from ..memory.mainmem import BankedMemory
+from ..memory.page_table import PageTable
+from ..params import CacheConfig, NodeConfig
+from .bshr import BSHRFile
+from .broadcast import Broadcaster
+from .correspondence import CorrespondenceTracker
+from .dcub import DCUB
+from .node import _PrimaryHandle
+
+
+class DataScalarL2Node(MemoryInterface):
+    """A DataScalar node whose replicated level is a unified L2."""
+
+    def __init__(self, node_id: int, config: NodeConfig,
+                 l2_config: CacheConfig, page_table: PageTable, medium,
+                 deliver, num_peers: int = 1):
+        self.node_id = node_id
+        self.config = config
+        self.page_table = page_table
+        self.icache = Cache(config.icache, name=f"i{node_id}")
+        self.dcache = Cache(config.dcache, name=f"d{node_id}")
+        self.l2 = Cache(l2_config, name=f"l2-{node_id}")
+        self.l2_latency = config.memory.onchip_latency
+        self.local_mem = BankedMemory(
+            config.memory.onchip_latency,
+            num_banks=config.memory.num_banks,
+            interleave_bytes=config.dcache.line_size,
+            name=f"mem{node_id}",
+        )
+        self.bshr = BSHRFile(config.bshr, name=f"bshr{node_id}")
+        self.dcub = DCUB(name=f"dcub{node_id}")
+        self.tracker = CorrespondenceTracker()
+        self.broadcaster = Broadcaster(
+            node_id, medium, config.broadcast_queue_latency,
+            config.dcache.line_size, deliver, num_peers=num_peers,
+        )
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.remote_loads = 0
+        self.local_loads = 0
+        self.dropped_stores = 0
+        self.local_stores = 0
+
+    # ------------------------------------------------------------------
+    # Issue side.
+    # ------------------------------------------------------------------
+    def load_issue(self, now: int, addr: int, size: int) -> LoadHandle:
+        line = self.dcache.line_addr(addr)
+        hit_latency = self.config.dcache.hit_latency
+        if self.dcache.lookup(addr):
+            handle = LoadHandle(addr, size, now)
+            handle.issue_hit = True
+            handle.complete(now + hit_latency)
+            return handle
+        entry = self.dcub.lookup(line)
+        if entry is not None:
+            handle = LoadHandle(addr, size, now)
+            handle.issue_hit = False
+            handle.dcub_line = line
+            self.dcub.merge(entry, now, handle)
+            return handle
+        entry = self.dcub.allocate(line, now)
+        handle = _PrimaryHandle(addr, size, now, entry)
+        handle.issue_hit = False
+        handle.dcub_line = line
+        if self.l2.lookup(addr):
+            # Dynamically replicated in the L2: an on-chip hit.
+            self.l2_hits += 1
+            handle.complete(now + hit_latency + self.l2_latency)
+            return handle
+        self.l2_misses += 1
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_loads += 1
+            done = self.local_mem.access(now + hit_latency, line)
+            if not pte.replicated:
+                self.broadcaster.broadcast(done, line, late=False)
+                self.tracker.note_broadcast_sent(line)
+            handle.complete(done)
+        else:
+            self.remote_loads += 1
+            self.tracker.note_bshr_wait(line)
+            self.bshr.load(now, line, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # Commit side.
+    # ------------------------------------------------------------------
+    def commit_mem(self, now: int, addr: int, size: int, is_store: bool,
+                   handle) -> None:
+        line = self.dcache.line_addr(addr)
+        l1_canonical_hit = self.dcache.lookup(addr)
+        result = self.dcache.commit_access(addr, is_write=is_store)
+        if result.writeback is not None:
+            self._spill_to_l2(now, result.writeback)
+        if handle is not None and handle.dcub_line is not None:
+            self.dcub.release(handle.dcub_line)
+        if not is_store and handle is not None \
+                and handle.issue_hit is not None:
+            self.tracker.classify(handle.issue_hit, l1_canonical_hit)
+        if is_store:
+            self._complete_store(now, addr, l1_canonical_hit)
+        if result.filled and not l1_canonical_hit:
+            # The canonical L1 fill is the L2's canonical access.
+            l2_canonical_hit = self.l2.lookup(addr)
+            l2_result = self.l2.commit_access(addr, is_write=False)
+            if l2_result.writeback is not None:
+                self._writeback_memory(now, l2_result.writeback)
+            if not l2_canonical_hit:
+                self._settle_l2_miss(now, addr, line)
+
+    def _settle_l2_miss(self, now: int, addr: int, line: int) -> None:
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated:
+            return
+        if pte.owner == self.node_id:
+            if self.tracker.settle_canonical_miss_owner(line):
+                available = self.local_mem.access(now, line)
+                self.broadcaster.broadcast(available, line, late=True)
+        else:
+            if self.tracker.settle_canonical_miss_nonowner(line):
+                self.bshr.schedule_discard(line)
+
+    def _spill_to_l2(self, now: int, line: int) -> None:
+        """A dirty L1 eviction lands in the L2 (canonical sequence:
+        deterministic function of commits)."""
+        l2_result = self.l2.commit_access(line, is_write=True)
+        if l2_result.writeback is not None:
+            self._writeback_memory(now, l2_result.writeback)
+
+    def _writeback_memory(self, now: int, line: int) -> None:
+        pte = self.page_table.entry_for(line)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_mem.access(now, line)
+        else:
+            self.dropped_stores += 1
+
+    def _complete_store(self, now: int, addr: int, cached: bool) -> None:
+        if cached:
+            return
+        pte = self.page_table.entry_for(addr)
+        if pte.replicated or pte.owner == self.node_id:
+            self.local_stores += 1
+            self.local_mem.access(now, addr)
+        else:
+            self.dropped_stores += 1
+
+    # ------------------------------------------------------------------
+    def ifetch_line(self, now: int, line_addr: int) -> int:
+        result = self.icache.commit_access(line_addr, is_write=False)
+        if result.hit:
+            return now
+        return self.local_mem.access(now, line_addr)
+
+    def drain(self, now: int) -> bool:
+        return True
+
+    def validate_final_state(self) -> None:
+        from ..errors import ProtocolError
+
+        self.bshr.assert_drained()
+        self.dcub.assert_drained()
+        unmatched = self.tracker.unmatched_waits()
+        if unmatched:
+            raise ProtocolError(
+                f"L2 node {self.node_id}: {unmatched} unmatched BSHR waits"
+            )

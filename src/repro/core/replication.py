@@ -1,0 +1,66 @@
+"""Static replication policy (paper Section 3.2).
+
+"We replicate data statically by duplicating the most heavily accessed
+pages in each processor's local memory. ... We selected the pages to
+replicate by running the benchmark, saving the number of accesses to each
+page, sorting the pages by number of accesses, and choosing the most
+heavily accessed pages."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.address import Segment
+from ..memory.layout import choose_block_size
+from ..memory.profile import PageProfile, profile_program
+
+
+def select_hot_pages(profile: PageProfile, budget_pages: int,
+                     segments=None) -> "frozenset[int]":
+    """The ``budget_pages`` most-accessed pages, optionally restricted to
+    ``segments`` (an iterable of :class:`Segment`)."""
+    if budget_pages <= 0:
+        return frozenset()
+    wanted = None if segments is None else set(segments)
+    chosen = []
+    for page, _count in profile.pages_by_count():
+        if wanted is not None and profile.segment_of_page(page) not in wanted:
+            continue
+        chosen.append(page)
+        if len(chosen) >= budget_pages:
+            break
+    return frozenset(chosen)
+
+
+@dataclass
+class ReplicationPlan:
+    """Everything the Table 2 methodology decides per benchmark."""
+
+    replicated_pages: "frozenset[int]"
+    distribution_block_pages: int
+    profile: PageProfile
+
+    def replicated_by_segment(self) -> "dict[Segment, int]":
+        counts = {segment: 0 for segment in Segment}
+        for page in self.replicated_pages:
+            counts[self.profile.segment_of_page(page)] += 1
+        return counts
+
+
+def plan_replication(program, page_size: int, num_nodes: int,
+                     budget_pages: int, limit=None,
+                     include_ifetch: bool = True) -> ReplicationPlan:
+    """Profile ``program`` and pick the hot pages plus a distribution
+    block size, mirroring the paper's per-benchmark methodology: replicate
+    the hottest pages, and maximize the block while keeping it smaller
+    than ``1/num_nodes`` of the text and largest data segments."""
+    profile = profile_program(program, page_size, limit=limit,
+                              include_ifetch=include_ifetch)
+    replicated = select_hot_pages(profile, budget_pages)
+    block = choose_block_size(program, page_size, num_nodes)
+    return ReplicationPlan(
+        replicated_pages=replicated,
+        distribution_block_pages=block,
+        profile=profile,
+    )

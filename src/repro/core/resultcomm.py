@@ -1,0 +1,110 @@
+"""Result communication (paper Section 5.1) — trace-level estimator.
+
+"Because each processor executes the instructions in a different order,
+it is possible for a processor to temporarily deviate from the ESP model
+and execute a private computation, broadcasting only the result — not the
+operands — to the other processors."
+
+The paper proposes but does not evaluate this optimization; we provide
+the analysis a compiler/hardware predictor would need: scan the dynamic
+trace for *private regions* — maximal instruction windows whose loads all
+touch communicated data owned by a single node — and report how many
+operand broadcasts result communication would replace with a single
+result broadcast per region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.opcodes import OpClass
+from ..memory.page_table import PageTable
+
+_LOAD = int(OpClass.LOAD)
+
+
+@dataclass
+class PrivateRegion:
+    """One candidate private computation."""
+
+    owner: int
+    start_seq: int
+    end_seq: int
+    owned_loads: int
+
+    @property
+    def saved_broadcasts(self) -> int:
+        """Operand broadcasts replaced by one result broadcast."""
+        return max(0, self.owned_loads - 1)
+
+
+@dataclass
+class ResultCommReport:
+    """Aggregate opportunity across the trace."""
+
+    regions: "list[PrivateRegion]"
+    total_communicated_loads: int
+
+    @property
+    def saved_broadcasts(self) -> int:
+        return sum(region.saved_broadcasts for region in self.regions)
+
+    @property
+    def broadcast_reduction(self) -> float:
+        if not self.total_communicated_loads:
+            return 0.0
+        return self.saved_broadcasts / self.total_communicated_loads
+
+
+class ResultCommunicationAnalyzer:
+    """Finds private regions in a dynamic instruction trace.
+
+    A region accumulates while every load touches data owned by one fixed
+    node (replicated loads are neutral — local everywhere).  A load owned
+    by a different node closes the region.  Only regions with at least
+    ``min_loads`` owned loads are worth a result broadcast.
+    """
+
+    def __init__(self, page_table: PageTable, min_loads: int = 2):
+        self.page_table = page_table
+        self.min_loads = min_loads
+
+    def analyze(self, trace) -> ResultCommReport:
+        regions = []
+        total = 0
+        owner = None
+        start = None
+        owned_loads = 0
+        last_seq = 0
+
+        def close(end_seq: int) -> None:
+            nonlocal owner, start, owned_loads
+            if owner is not None and owned_loads >= self.min_loads:
+                regions.append(PrivateRegion(owner, start, end_seq,
+                                             owned_loads))
+            owner = None
+            start = None
+            owned_loads = 0
+
+        for dyn in trace:
+            last_seq = dyn.seq
+            if dyn.op_class != _LOAD:
+                continue
+            entry = self.page_table.entry_for(dyn.addr)
+            if entry.replicated:
+                continue
+            total += 1
+            if owner is None:
+                owner = entry.owner
+                start = dyn.seq
+                owned_loads = 1
+            elif entry.owner == owner:
+                owned_loads += 1
+            else:
+                close(dyn.seq - 1)
+                owner = entry.owner
+                start = dyn.seq
+                owned_loads = 1
+        close(last_seq)
+        return ResultCommReport(regions=regions,
+                                total_communicated_loads=total)

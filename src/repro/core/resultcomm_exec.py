@@ -1,0 +1,169 @@
+"""Executing result communication in the timing simulator (Section 5.1).
+
+"It is possible for a processor to temporarily deviate from the ESP
+model and execute a private computation, broadcasting only the result —
+not the operands — to the other processors."
+
+Given the private regions found by
+:class:`~repro.core.resultcomm.ResultCommunicationAnalyzer`, the
+:class:`ResultCommSystem` runs the program with those regions executed
+*only at their owner*:
+
+* the owner's in-region memory operations become **private** — they read
+  local memory directly and bypass the correspondence-managed cache, so
+  cache states stay identical across nodes;
+* the other nodes **skip** the region's instructions entirely; and
+* at the region boundary every node executes a synthetic *mailbox load*
+  to a per-region address owned by the region's owner — the owner's
+  canonical miss broadcasts the line (the "result"), and the other
+  nodes' BSHR waits consume it.  The existing ESP/ledger machinery thus
+  carries the result with full protocol balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.interpreter import Interpreter
+from ..isa.opcodes import OpClass
+from ..isa.trace import DynInstr
+from .resultcomm import ResultCommunicationAnalyzer
+from .system import DataScalarSystem
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+
+#: Mailbox pages start here — far above every program segment; the page
+#: table's deterministic fallback (owner = page % num_nodes) maps them.
+MAILBOX_BASE = 0x8000_0000
+
+
+@dataclass(frozen=True)
+class ExecRegion:
+    """One region scheduled for private execution."""
+
+    start_seq: int
+    end_seq: int
+    owner: int
+
+    def __post_init__(self):
+        if self.end_seq < self.start_seq:
+            raise ValueError("region ends before it starts")
+
+
+def mailbox_address(region_index: int, owner: int, num_nodes: int,
+                    page_size: int) -> int:
+    """A unique address on a page the fallback maps to ``owner``."""
+    page = (MAILBOX_BASE // page_size) + region_index * num_nodes
+    page += (owner - page) % num_nodes
+    return page * page_size
+
+
+def select_exec_regions(program, page_table, min_loads: int = 8,
+                        limit=None) -> "list[ExecRegion]":
+    """Find analyzer regions worth private execution."""
+    analyzer = ResultCommunicationAnalyzer(page_table, min_loads=min_loads)
+    report = analyzer.analyze(Interpreter(program).trace(limit=limit))
+    return [ExecRegion(r.start_seq, r.end_seq, r.owner)
+            for r in report.regions]
+
+
+def filter_trace(trace, regions, node_id: int, num_nodes: int,
+                 page_size: int):
+    """Rewrite one node's stream for private-region execution.
+
+    In-region records: kept (memory ops marked private) at the owner,
+    dropped elsewhere.  After each region, a synthetic mailbox load is
+    appended at every node; at the owner it carries a dependence on the
+    region's last produced register so the "result" broadcast waits for
+    the computation.
+    """
+    regions = sorted(regions, key=lambda r: r.start_seq)
+    region_index = 0
+    new_seq = 0
+    last_dest = None
+    for dyn in trace:
+        while (region_index < len(regions)
+               and dyn.seq > regions[region_index].end_seq):
+            region_index += 1  # limit may end a region early
+        region = regions[region_index] if region_index < len(regions) \
+            else None
+        in_region = (region is not None
+                     and region.start_seq <= dyn.seq <= region.end_seq)
+        emit_mailbox = in_region and dyn.seq == region.end_seq
+        if in_region:
+            if node_id == region.owner:
+                if dyn.dest is not None:
+                    last_dest = dyn.dest
+                if dyn.op_class in (_LOAD, _STORE):
+                    dyn.private = True
+                dyn.seq = new_seq
+                new_seq += 1
+                yield dyn
+        else:
+            dyn.seq = new_seq
+            new_seq += 1
+            yield dyn
+        if emit_mailbox:
+            srcs = ()
+            if node_id == region.owner and last_dest is not None:
+                srcs = (last_dest,)
+            mailbox = DynInstr(
+                new_seq,
+                dyn.pc,
+                _LOAD,
+                None,
+                srcs,
+                mailbox_address(region_index, region.owner, num_nodes,
+                                page_size),
+                4,
+            )
+            new_seq += 1
+            yield mailbox
+            region_index += 1
+            last_dest = None
+
+
+class ResultCommSystem(DataScalarSystem):
+    """DataScalar with Section 5.1 result communication enabled.
+
+    Nodes commit different instruction counts (non-owners skip regions),
+    so the SPSD equality check is relaxed; protocol-ledger validation
+    still applies in full.
+    """
+
+    require_equal_commits = False
+
+    def __init__(self, config=None, regions=None):
+        super().__init__(config)
+        self.regions = list(regions or [])
+
+    def _make_trace(self, program, node_id: int, limit):
+        trace = Interpreter(program).trace(limit=limit)
+        if not self.regions:
+            return trace
+        return filter_trace(trace, self.regions, node_id,
+                            self.config.num_nodes,
+                            self.config.node.memory.page_size)
+
+
+def run_with_result_communication(program, config, min_loads: int = 8,
+                                  limit=None):
+    """Convenience: analyze, then run with and without the optimization.
+
+    Returns ``(baseline_result, resultcomm_result, regions)``.
+    """
+    from ..memory.layout import LayoutSpec, build_page_table
+
+    spec = LayoutSpec(
+        num_nodes=config.num_nodes,
+        page_size=config.node.memory.page_size,
+        distribution_block_pages=config.distribution_block_pages,
+        replicate_text=config.replicate_text,
+    )
+    table, _ = build_page_table(program, spec)
+    regions = select_exec_regions(program, table, min_loads=min_loads,
+                                  limit=limit)
+    baseline = DataScalarSystem(config).run(program, limit=limit)
+    optimized = ResultCommSystem(config, regions).run(program, limit=limit)
+    return baseline, optimized, regions

@@ -1,0 +1,240 @@
+"""The multi-node DataScalar timing simulator.
+
+Mirrors the paper's simulation platform: a multi-context simulator that
+"switches contexts after executing each cycle (i.e., it simulates cycle n
+for all contexts before simulating cycle n+1 for any context)".  Every
+node runs its own functional interpreter over the same program (SPSD),
+so all nodes fetch, execute, and commit the identical dynamic stream at
+their own pace — asynchronous ESP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cpu.pipeline import Pipeline, PipelineStats
+from ..errors import ProtocolError, SimulationError
+from ..interconnect.medium import make_medium
+from ..isa.interpreter import Interpreter
+from ..memory.layout import LayoutSpec, build_page_table
+from ..params import SystemConfig
+
+
+@dataclass
+class NodeResult:
+    """Everything one node reports after a run."""
+
+    node_id: int
+    pipeline: PipelineStats
+    broadcasts_sent: int
+    late_broadcasts: int
+    bshr_waits: int
+    bshr_found: int
+    bshr_squashes: int
+    bshr_arrivals: int
+    false_hits: int
+    false_misses: int
+    dcache_miss_rate: float
+    remote_loads: int
+    local_loads: int
+    dropped_stores: int
+
+
+@dataclass
+class DataScalarResult:
+    """Run-level outcome: IPC plus the Table 3 statistics."""
+
+    cycles: int
+    instructions: int
+    nodes: "list[NodeResult]"
+    bus_transactions: int
+    bus_payload_bytes: int
+    bus_utilization: float
+    layout_summary: object = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    # ------------------------------------------------------------------
+    # Table 3 aggregates (arithmetic mean over nodes, as in the paper).
+    # ------------------------------------------------------------------
+    @property
+    def late_broadcast_fraction(self) -> float:
+        """Fraction of broadcasts issued late (at commit) — column one."""
+        fractions = [
+            node.late_broadcasts / node.broadcasts_sent
+            for node in self.nodes if node.broadcasts_sent
+        ]
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def bshr_squash_fraction(self) -> float:
+        """BSHR entries squashed, out of BSHR accesses — column two."""
+        fractions = []
+        for node in self.nodes:
+            accesses = node.bshr_waits + node.bshr_found + node.bshr_squashes
+            if accesses:
+                fractions.append(node.bshr_squashes / accesses)
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+    @property
+    def found_in_bshr_fraction(self) -> float:
+        """Remote accesses that found data waiting in the BSHR — column
+        three (evidence of datathreading)."""
+        fractions = []
+        for node in self.nodes:
+            remote = node.bshr_waits + node.bshr_found
+            if remote:
+                fractions.append(node.bshr_found / remote)
+        return sum(fractions) / len(fractions) if fractions else 0.0
+
+
+class DataScalarSystem:
+    """N IRAM nodes on one global broadcast bus (Figure 6(b))."""
+
+    #: Subclasses running asymmetric per-node streams (e.g. result
+    #: communication) relax the commit-count equality check.
+    require_equal_commits = True
+
+    def __init__(self, config: SystemConfig = None):
+        self.config = config or SystemConfig()
+
+    def _make_trace(self, program, node_id: int, limit):
+        """Build node ``node_id``'s dynamic stream (hook for subclasses)."""
+        return Interpreter(program).trace(limit=limit)
+
+    def run(self, program, replicated_pages=frozenset(), limit=None,
+            stack_bytes: int = 64 * 1024,
+            observer=None) -> DataScalarResult:
+        """Simulate ``program`` across all nodes to completion.
+
+        ``replicated_pages`` are page numbers to replicate statically in
+        addition to the text segment; ``limit`` bounds the dynamic
+        instruction count per node (all nodes see the same prefix);
+        ``observer(cycle, pipelines, nodes, medium)`` is called every
+        simulated cycle (see :class:`repro.analysis.timeline`).
+
+        With ``config.result_communication`` set, private regions are
+        auto-detected and the run delegates to
+        :class:`~repro.core.resultcomm_exec.ResultCommSystem`.
+        """
+        from .node import DataScalarNode  # local import to avoid cycles
+
+        config = self.config
+        if config.result_communication and type(self) is DataScalarSystem:
+            import dataclasses
+
+            from .resultcomm_exec import ResultCommSystem, \
+                select_exec_regions
+
+            plain = dataclasses.replace(config, result_communication=False)
+            spec = LayoutSpec(
+                num_nodes=config.num_nodes,
+                page_size=config.node.memory.page_size,
+                distribution_block_pages=config.distribution_block_pages,
+                replicate_text=config.replicate_text,
+                replicated_pages=frozenset(replicated_pages),
+                stack_bytes=stack_bytes,
+            )
+            table, _ = build_page_table(program, spec)
+            regions = select_exec_regions(program, table, limit=limit)
+            return ResultCommSystem(plain, regions).run(
+                program, replicated_pages=replicated_pages, limit=limit,
+                stack_bytes=stack_bytes, observer=observer)
+        spec = LayoutSpec(
+            num_nodes=config.num_nodes,
+            page_size=config.node.memory.page_size,
+            distribution_block_pages=config.distribution_block_pages,
+            replicate_text=config.replicate_text,
+            replicated_pages=frozenset(replicated_pages),
+            stack_bytes=stack_bytes,
+        )
+        page_table, layout_summary = build_page_table(program, spec)
+        medium = make_medium(config.interconnect, config.bus,
+                             config.num_nodes)
+        nodes: "list[DataScalarNode]" = []
+
+        def deliver(src: int, line: int, arrivals) -> None:
+            for node in nodes:
+                arrival = arrivals[node.node_id]
+                if arrival is not None:
+                    node.bshr.arrival(arrival, line)
+
+        pipelines = []
+        for node_id in range(config.num_nodes):
+            if config.l2 is not None:
+                from .node_l2 import DataScalarL2Node
+
+                node = DataScalarL2Node(
+                    node_id, config.node, config.l2, page_table, medium,
+                    deliver, num_peers=config.num_nodes - 1)
+            else:
+                node = DataScalarNode(
+                    node_id, config.node, page_table, medium,
+                    deliver, num_peers=config.num_nodes - 1)
+            nodes.append(node)
+            trace = self._make_trace(program, node_id, limit)
+            pipelines.append(Pipeline(config.node.cpu, node, trace,
+                                      icache_line=config.node.icache.line_size))
+
+        cycle = 0
+        while not all(p.done for p in pipelines):
+            if cycle >= config.max_cycles:
+                raise SimulationError(
+                    f"DataScalar run exceeded {config.max_cycles} cycles"
+                )
+            for pipeline in pipelines:
+                pipeline.tick(cycle)
+            if observer is not None:
+                observer(cycle, pipelines, nodes, medium)
+            cycle += 1
+
+        return self._collect(cycle, pipelines, nodes, medium, page_table,
+                             layout_summary)
+
+    def _collect(self, cycles, pipelines, nodes, medium, page_table,
+                 layout_summary) -> DataScalarResult:
+        committed = {p.stats.committed for p in pipelines}
+        if self.require_equal_commits and len(committed) != 1:
+            raise ProtocolError(
+                f"nodes committed different instruction counts: {committed}"
+            )
+        committed = {max(committed)}
+        for node in nodes:
+            node.validate_final_state()
+        node_results = []
+        for pipeline, node in zip(pipelines, nodes):
+            node_results.append(NodeResult(
+                node_id=node.node_id,
+                pipeline=pipeline.stats,
+                broadcasts_sent=node.broadcaster.stats.sent,
+                late_broadcasts=node.broadcaster.stats.late,
+                bshr_waits=node.bshr.stats.waits,
+                bshr_found=node.bshr.stats.found_in_bshr,
+                bshr_squashes=node.bshr.stats.squashes,
+                bshr_arrivals=node.bshr.stats.arrivals,
+                false_hits=node.tracker.stats.false_hits,
+                false_misses=node.tracker.stats.false_misses,
+                dcache_miss_rate=node.dcache.stats.miss_rate(),
+                remote_loads=node.remote_loads,
+                local_loads=node.local_loads,
+                dropped_stores=node.dropped_stores,
+            ))
+        extra = {"unmapped_pages": page_table.unmapped_accesses}
+        l2_hits = sum(getattr(node, "l2_hits", 0) for node in nodes)
+        l2_misses = sum(getattr(node, "l2_misses", 0) for node in nodes)
+        if l2_hits or l2_misses:
+            extra["l2_hits"] = l2_hits
+            extra["l2_misses"] = l2_misses
+        return DataScalarResult(
+            cycles=cycles,
+            instructions=committed.pop(),
+            nodes=node_results,
+            bus_transactions=medium.transactions,
+            bus_payload_bytes=medium.payload_bytes,
+            bus_utilization=medium.utilization(cycles),
+            layout_summary=layout_summary,
+            extra=extra,
+        )

@@ -1,0 +1,44 @@
+"""Functional-unit pool.
+
+Units are fully pipelined (a unit accepts one new operation per cycle),
+so the pool only constrains *issue* bandwidth per class per cycle.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..isa.opcodes import OpClass
+from ..params import CPUConfig
+
+
+class FUPool:
+    """Per-cycle issue slots for each functional-unit class."""
+
+    def __init__(self, config: CPUConfig):
+        self.latencies = {}
+        self.counts = {}
+        for op_class in OpClass:
+            name = op_class.fu_name
+            if name not in config.fu_latencies:
+                raise ConfigError(f"no latency configured for FU {name}")
+            self.latencies[int(op_class)] = config.fu_latencies[name]
+            self.counts[int(op_class)] = config.fu_counts.get(name)
+        self._cycle = -1
+        self._used = {}
+
+    def latency(self, op_class: int) -> int:
+        return self.latencies[op_class]
+
+    def try_claim(self, now: int, op_class: int) -> bool:
+        """Claim an issue slot for ``op_class`` at cycle ``now``."""
+        if now != self._cycle:
+            self._cycle = now
+            self._used = {}
+        limit = self.counts[op_class]
+        if limit is None:
+            return True
+        used = self._used.get(op_class, 0)
+        if used >= limit:
+            return False
+        self._used[op_class] = used + 1
+        return True

@@ -1,0 +1,315 @@
+"""The out-of-order core timing model.
+
+An 8-wide (configurable) machine with a unified RUU window, a load/store
+queue half its size, pipelined functional units, and perfect branch
+prediction (paper Section 4.2).  The pipeline consumes the functional
+interpreter's dynamic trace — under perfect prediction the committed path
+is the functional path, and no mis-speculated instructions exist (the
+paper's correspondence protocol likewise excludes speculative broadcasts).
+
+Per simulated cycle the pipeline commits (in order), issues (oldest-ready
+first), and fetches/dispatches — each up to its configured width.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..isa.opcodes import OpClass
+from ..params import CPUConfig
+from .func_units import FUPool
+from .interface import MemoryInterface
+from .lsq import LSQ
+from .ruu import RUU
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+
+#: Cycles with no commit before the pipeline declares itself wedged.
+DEADLOCK_CYCLES = 1_000_000
+
+
+class PipelineStats:
+    """Counters published by one core."""
+
+    __slots__ = ("committed", "loads", "stores", "cycles", "fetch_stalls",
+                 "window_stalls", "lsq_stalls", "branches", "mispredicts")
+
+    def __init__(self):
+        self.committed = 0
+        self.loads = 0
+        self.stores = 0
+        self.cycles = 0
+        self.fetch_stalls = 0
+        self.window_stalls = 0
+        self.lsq_stalls = 0
+        self.branches = 0
+        self.mispredicts = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+class Pipeline:
+    """One out-of-order core bound to a memory system and a trace."""
+
+    def __init__(self, config: CPUConfig, mem: MemoryInterface, trace,
+                 icache_line: int = 32):
+        self.config = config
+        self.mem = mem
+        self._trace = iter(trace)
+        self._trace_done = False
+        self._fetch_buffer = None
+        self.ruu = RUU(config.ruu_entries)
+        self.lsq = LSQ(config.lsq_entries)
+        self.fus = FUPool(config)
+        self.stats = PipelineStats()
+        self._icache_line_mask = ~(icache_line - 1)
+        self._fetch_ready = 0
+        self._fetched_line = None
+        self._pending_loads = []
+        self._last_commit_cycle = 0
+        self._predictor = self._build_predictor(config.branch_predictor)
+        self._redirect_after = None  # branch entry fetch is waiting on
+        self.done = False
+
+    @staticmethod
+    def _build_predictor(kind: str):
+        if kind == "perfect":
+            return None
+        from .branch import (
+            BimodalPredictor,
+            GSharePredictor,
+            StaticTakenPredictor,
+        )
+        if kind == "static":
+            return StaticTakenPredictor()
+        if kind == "bimodal":
+            return BimodalPredictor()
+        if kind == "gshare":
+            return GSharePredictor()
+        raise SimulationError(f"unknown branch predictor {kind!r}")
+
+    # ------------------------------------------------------------------
+    # One simulated cycle.
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> None:
+        """Simulate cycle ``now``.  Sets :attr:`done` when the program has
+        fully drained through the machine."""
+        if self.done:
+            return
+        self.stats.cycles = now + 1
+        self._commit(now)
+        self._resolve_pending_loads(now)
+        self._issue(now)
+        self._fetch(now)
+        if self._trace_done and not self.ruu.window:
+            if self.mem.drain(now):
+                self.done = True
+            return
+        if now - self._last_commit_cycle > DEADLOCK_CYCLES:
+            raise SimulationError(
+                f"no commit for {DEADLOCK_CYCLES} cycles at cycle {now}; "
+                f"head={self.ruu.head()!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Commit stage.
+    # ------------------------------------------------------------------
+    def _commit(self, now: int) -> None:
+        for _ in range(self.config.commit_width):
+            head = self.ruu.head()
+            if head is None:
+                break
+            if not head.issued:
+                break
+            if head.result_time is None or head.result_time > now:
+                break
+            if head.is_mem:
+                if not head.private:
+                    self.mem.commit_mem(now, head.addr, head.size,
+                                        head.is_store, head.handle)
+                self.lsq.release_head(head)
+                if head.is_load:
+                    self.stats.loads += 1
+                else:
+                    self.stats.stores += 1
+            self.ruu.pop_head()
+            self.stats.committed += 1
+            self._last_commit_cycle = now
+
+    # ------------------------------------------------------------------
+    # Load completion (memory system may resolve handles asynchronously).
+    # ------------------------------------------------------------------
+    def _resolve_pending_loads(self, now: int) -> None:
+        if not self._pending_loads:
+            return
+        still_pending = []
+        for entry in self._pending_loads:
+            ready = entry.handle.ready
+            if ready is None:
+                still_pending.append(entry)
+            else:
+                self.ruu.resolve(entry, max(ready, entry.issued_at + 1))
+        self._pending_loads = still_pending
+
+    # ------------------------------------------------------------------
+    # Issue stage.
+    # ------------------------------------------------------------------
+    def _issue(self, now: int) -> None:
+        issued = 0
+        batch = self.ruu.schedulable(now)
+        for position, entry in enumerate(batch):
+            if issued >= self.config.issue_width:
+                self._requeue_rest(batch[position:], now)
+                return
+            if not self.fus.try_claim(now, entry.op_class):
+                self.ruu.requeue(entry, now + 1)
+                continue
+            if entry.is_load:
+                if not self._issue_load(entry, now):
+                    continue
+            elif entry.is_store:
+                self._issue_store(entry, now)
+            else:
+                latency = self.fus.latency(entry.op_class)
+                entry.issued = True
+                entry.issued_at = now
+                self.ruu.resolve(entry, now + latency)
+            issued += 1
+
+    def _requeue_rest(self, rest, now: int) -> None:
+        for entry in rest:
+            self.ruu.requeue(entry, now + 1)
+
+    def _issue_load(self, entry, now: int) -> bool:
+        if (not self.config.oracle_disambiguation
+                and self.lsq.has_unissued_earlier_store(entry)):
+            # Conservative disambiguation: wait for every earlier store
+            # address to resolve before going to memory.
+            self.ruu.requeue(entry, now + 1)
+            return False
+        store, resolved = self.lsq.forwarding_store(entry)
+        if not resolved:
+            # May not bypass an unissued same-address store; retry.
+            self.ruu.requeue(entry, now + 1)
+            return False
+        entry.issued = True
+        entry.issued_at = now
+        if store is not None:
+            handle = _ForwardedHandle(entry.addr, entry.size, now)
+            entry.handle = handle
+            self.ruu.resolve(entry, max(now + 1, store.issued_at + 1))
+            return True
+        if entry.private:
+            handle = self.mem.private_load_issue(now, entry.addr,
+                                                 entry.size)
+        else:
+            handle = self.mem.load_issue(now, entry.addr, entry.size)
+        entry.handle = handle
+        if handle.ready is not None:
+            self.ruu.resolve(entry, max(handle.ready, now + 1))
+        else:
+            self._pending_loads.append(entry)
+        return True
+
+    def _issue_store(self, entry, now: int) -> None:
+        # The store's value and address are ready; it waits in the LSQ and
+        # writes the cache at commit.  It produces no register result.
+        entry.issued = True
+        entry.issued_at = now
+        self.ruu.resolve(entry, now + 1)
+
+    # ------------------------------------------------------------------
+    # Fetch/dispatch stage (perfect branch prediction).
+    # ------------------------------------------------------------------
+    def _fetch(self, now: int) -> None:
+        if self._redirect_after is not None:
+            # A mispredicted branch owns fetch until it resolves.
+            resolve = self._redirect_after.result_time
+            if resolve is None or resolve > now:
+                self.stats.fetch_stalls += 1
+                return
+            self._fetch_ready = max(
+                self._fetch_ready,
+                resolve + self.config.misprediction_penalty,
+            )
+            self._redirect_after = None
+        if self._trace_done or now < self._fetch_ready:
+            if not self._trace_done:
+                self.stats.fetch_stalls += 1
+            return
+        for _ in range(self.config.fetch_width):
+            dyn = self._peek_trace()
+            if dyn is None:
+                return
+            if self.ruu.is_full():
+                self.stats.window_stalls += 1
+                return
+            if dyn.op_class in (_LOAD, _STORE) and self.lsq.is_full():
+                self.stats.lsq_stalls += 1
+                return
+            line = dyn.pc & self._icache_line_mask
+            if line != self._fetched_line:
+                ready = self.mem.ifetch_line(now, line)
+                self._fetched_line = line
+                if ready > now:
+                    # Miss: the rest of this fetch group waits.
+                    self._fetch_ready = ready
+                    return
+            self._consume_trace()
+            entry = self.ruu.dispatch(dyn, now + 1)
+            if entry.is_mem:
+                self.lsq.insert(entry)
+            if self._predictor is not None and dyn.is_cond_branch:
+                self.stats.branches += 1
+                predicted = self._predictor.predict(dyn.pc)
+                self._predictor.train(dyn.pc, dyn.taken)
+                if predicted != dyn.taken:
+                    # Wrong path until this branch resolves: stop fetch.
+                    self.stats.mispredicts += 1
+                    self._redirect_after = entry
+                    return
+
+    def _peek_trace(self):
+        if self._fetch_buffer is None and not self._trace_done:
+            try:
+                self._fetch_buffer = next(self._trace)
+            except StopIteration:
+                self._trace_done = True
+        return self._fetch_buffer
+
+    def _consume_trace(self) -> None:
+        self._fetch_buffer = None
+
+    # ------------------------------------------------------------------
+    # Whole-program convenience for single-core systems.
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int) -> PipelineStats:
+        """Tick until done; returns the stats."""
+        for cycle in range(max_cycles):
+            self.tick(cycle)
+            if self.done:
+                return self.stats
+        raise SimulationError(f"program did not finish in {max_cycles} cycles")
+
+
+class _ForwardedHandle:
+    """Handle for a load serviced by an in-queue store (1-cycle)."""
+
+    __slots__ = ("addr", "size", "issued_at", "ready", "issue_hit",
+                 "found_in_bshr", "forwarded", "dcub_line")
+
+    def __init__(self, addr, size, now):
+        self.addr = addr
+        self.size = size
+        self.issued_at = now
+        self.ready = now + 1
+        self.issue_hit = None
+        self.found_in_bshr = False
+        self.forwarded = True
+        self.dcub_line = None

@@ -1,0 +1,139 @@
+"""The Register Update Unit: window entries and dependence wake-up.
+
+The paper's processor "used a Register Update Unit (RUU) to keep track of
+instruction dependencies" — a combined reorder buffer and issue window.
+Entries wake dependents when their result-ready cycle becomes known
+(at issue for fixed-latency operations; when the memory system resolves
+the handle for loads).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..isa.opcodes import OpClass
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+
+
+class RUUEntry:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq", "op_class", "dest", "addr", "size", "dispatched_at",
+        "operand_time", "unresolved", "dependents", "issued", "issued_at",
+        "result_time", "handle", "is_load", "is_store", "private",
+    )
+
+    def __init__(self, dyn, now: int):
+        self.seq = dyn.seq
+        self.op_class = dyn.op_class
+        self.dest = dyn.dest
+        self.addr = dyn.addr
+        self.size = dyn.size
+        self.dispatched_at = now
+        self.operand_time = now
+        self.unresolved = 0
+        self.dependents = None
+        self.issued = False
+        self.issued_at = -1
+        self.result_time = None
+        self.handle = None
+        self.is_load = dyn.op_class == _LOAD
+        self.is_store = dyn.op_class == _STORE
+        self.private = getattr(dyn, "private", False)
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    def __repr__(self) -> str:
+        return (f"<RUUEntry #{self.seq} {OpClass(self.op_class).name} "
+                f"issued={self.issued} result={self.result_time}>")
+
+
+class RUU:
+    """The instruction window with dependence tracking.
+
+    Dispatch links each entry to the last writer of each source register;
+    an entry becomes *schedulable* once every producer's result time is
+    known, at which point it enters the ready heap keyed by
+    ``(operand_time, seq)`` — oldest-first among equally-ready entries.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.window = deque()
+        self._last_writer = {}
+        self._ready_heap = []
+
+    def __len__(self) -> int:
+        return len(self.window)
+
+    def is_full(self) -> bool:
+        return len(self.window) >= self.capacity
+
+    def head(self):
+        return self.window[0] if self.window else None
+
+    def dispatch(self, dyn, now: int) -> RUUEntry:
+        """Insert a traced instruction, wiring register dependencies."""
+        entry = RUUEntry(dyn, now)
+        for src in dyn.srcs:
+            producer = self._last_writer.get(src)
+            if producer is None:
+                continue
+            if producer.result_time is not None:
+                if producer.result_time > entry.operand_time:
+                    entry.operand_time = producer.result_time
+            else:
+                entry.unresolved += 1
+                if producer.dependents is None:
+                    producer.dependents = [entry]
+                else:
+                    producer.dependents.append(entry)
+        if dyn.dest is not None:
+            self._last_writer[dyn.dest] = entry
+        self.window.append(entry)
+        if entry.unresolved == 0:
+            heapq.heappush(self._ready_heap,
+                           (entry.operand_time, entry.seq, entry))
+        return entry
+
+    def resolve(self, entry: RUUEntry, result_time: int) -> None:
+        """Set ``entry``'s result time and wake its dependents."""
+        entry.result_time = result_time
+        dependents = entry.dependents
+        if not dependents:
+            return
+        for dep in dependents:
+            if result_time > dep.operand_time:
+                dep.operand_time = result_time
+            dep.unresolved -= 1
+            if dep.unresolved == 0 and not dep.issued:
+                heapq.heappush(self._ready_heap,
+                               (dep.operand_time, dep.seq, dep))
+        entry.dependents = None
+
+    def schedulable(self, now: int):
+        """Pop every entry whose operands are ready at ``now`` (ordered
+        oldest-first); callers re-queue entries they cannot issue."""
+        heap = self._ready_heap
+        batch = []
+        while heap and heap[0][0] <= now:
+            _, _, entry = heapq.heappop(heap)
+            if not entry.issued:
+                batch.append(entry)
+        return batch
+
+    def requeue(self, entry: RUUEntry, not_before: int) -> None:
+        """Put an un-issuable entry back, retrying at ``not_before``."""
+        if not_before <= entry.operand_time:
+            not_before = entry.operand_time + 1
+        heapq.heappush(self._ready_heap, (not_before, entry.seq, entry))
+
+    def pop_head(self) -> RUUEntry:
+        """Remove and return the oldest entry (it must be committable)."""
+        return self.window.popleft()

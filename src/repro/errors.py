@@ -1,0 +1,40 @@
+"""Exception hierarchy for the DataScalar reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad opcode, undefined label, ...)."""
+
+
+class ExecutionError(ReproError):
+    """The functional interpreter hit an illegal state (bad PC, bad access)."""
+
+
+class MemoryError_(ReproError):
+    """A memory-system component was misused (bad address, bad config)."""
+
+
+class ConfigError(ReproError):
+    """A configuration dataclass holds inconsistent or impossible values."""
+
+
+class ProtocolError(ReproError):
+    """The DataScalar protocol reached a state the paper forbids.
+
+    Examples: a BSHR deadlock (a node waits for a broadcast no owner will
+    send), a correspondence violation (caches diverged at commit), or a
+    store broadcast (ESP never broadcasts stores).
+    """
+
+
+class SimulationError(ReproError):
+    """A timing simulation failed to make forward progress."""

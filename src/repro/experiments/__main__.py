@@ -1,0 +1,89 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1 [--limit N] [--csv out.csv]
+    python -m repro.experiments figure7 --limit 12000
+    python -m repro.experiments all --limit 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.export import write_csv
+from .figure1 import format_figure1, run_figure1
+from .figure3 import format_figure3, run_figure3
+from .figure7 import format_figure7, run_figure7
+from .figure8 import format_figure8, run_figure8
+from .scaling import format_scaling, run_scaling
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+from .table3 import format_table3, run_table3
+
+#: name -> (runner(limit), formatter, exportable-rows?)
+EXPERIMENTS = {
+    "scaling": (lambda limit: run_scaling(limit=limit), format_scaling,
+                True),
+    "figure1": (lambda limit: run_figure1(), format_figure1, False),
+    "figure3": (lambda limit: run_figure3(limit=limit), format_figure3,
+                False),
+    "table1": (lambda limit: run_table1(limit=limit), format_table1, True),
+    "table2": (lambda limit: run_table2(limit=limit), format_table2, True),
+    "table3": (lambda limit: run_table3(limit=limit), format_table3, True),
+    "figure7": (lambda limit: run_figure7(limit=limit), format_figure7,
+                True),
+    "figure8": (lambda limit: run_figure8(limit=limit), format_figure8,
+                False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="dynamic-instruction cap per run "
+                             "(default: run kernels to completion)")
+    parser.add_argument("--csv", default=None,
+                        help="also write result rows to this CSV file "
+                             "(row-producing experiments only)")
+    return parser
+
+
+def run_one(name: str, limit, csv_path=None) -> str:
+    runner, formatter, exportable = EXPERIMENTS[name]
+    result = runner(limit)
+    if csv_path:
+        if not exportable:
+            raise SystemExit(f"{name} does not produce exportable rows")
+        write_csv(csv_path, result)
+    return formatter(result)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(run_one(name, args.limit,
+                      args.csv if len(names) == 1 else None))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

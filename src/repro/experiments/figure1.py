@@ -1,0 +1,62 @@
+"""Figure 1: operation of the ESP Massive Memory Machine.
+
+Reproduces the paper's word-receive schedule: nine words, w5–w7 owned by
+machine 2, the rest by machine 1; two lead changes; three datathreads of
+lengths 4, 3, and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import format_table
+from ..core.esp import ESPResult, MassiveMemoryMachine
+
+
+@dataclass
+class Figure1Result:
+    """The ESP schedule plus comparison scenarios."""
+
+    paper_schedule: ESPResult
+    single_owner: ESPResult
+    worst_case: ESPResult
+
+    @property
+    def lead_change_cost(self) -> int:
+        """Extra cycles the paper's string pays versus one owner."""
+        return (self.paper_schedule.total_cycles
+                - self.single_owner.total_cycles)
+
+
+def run_figure1(broadcast_latency: int = 1,
+                lead_change_penalty: int = 3) -> Figure1Result:
+    """Regenerate Figure 1 plus best/worst-case reference strings of the
+    same length."""
+    mmm = MassiveMemoryMachine(num_processors=2,
+                               broadcast_latency=broadcast_latency,
+                               lead_change_penalty=lead_change_penalty)
+    paper = mmm.figure1_example()
+    n = len(paper.receive_times)
+    best = mmm.schedule([0] * n)
+    worst = mmm.schedule([i % 2 for i in range(n)])
+    return Figure1Result(paper_schedule=paper, single_owner=best,
+                         worst_case=worst)
+
+
+def format_figure1(result: Figure1Result) -> str:
+    rows = []
+    for index, time in enumerate(result.paper_schedule.receive_times):
+        owner = 2 if 4 <= index <= 6 else 1
+        rows.append([f"w{index + 1}", owner, time])
+    schedule = format_table(
+        ["word", "owner", "received at cycle"], rows,
+        title="Figure 1: ESP Massive Memory Machine operation",
+    )
+    summary = (
+        f"\nlead changes: {result.paper_schedule.lead_changes}, "
+        f"datathreads: {result.paper_schedule.datathreads}, "
+        f"total {result.paper_schedule.total_cycles} cycles "
+        f"(single-owner {result.single_owner.total_cycles}, "
+        f"alternating {result.worst_case.total_cycles})"
+    )
+    return schedule + summary

@@ -1,0 +1,106 @@
+"""Figure 7: timing-simulation IPC comparison.
+
+Per benchmark, five systems: a perfect data cache, DataScalar with two
+and four nodes, and traditional systems with one-half and one-quarter of
+main memory on-chip — each traditional system matched against the
+DataScalar machine with the same per-chip memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.report import format_ipc, format_table
+from ..baseline.perfect import PerfectSystem
+from ..baseline.traditional import TraditionalSystem
+from ..core.system import DataScalarSystem
+from ..workloads import TIMING_BENCHMARKS, build_program
+from .config import datascalar_config, timing_node_config, traditional_config
+
+
+@dataclass
+class Figure7Row:
+    """IPC of the five simulated systems for one benchmark."""
+
+    benchmark: str
+    perfect_ipc: float
+    datascalar2_ipc: float
+    datascalar4_ipc: float
+    traditional_half_ipc: float
+    traditional_quarter_ipc: float
+    #: The full result objects, for Table 3 and deeper inspection.
+    datascalar2_result: object = None
+    datascalar4_result: object = None
+
+    @property
+    def speedup_2(self) -> float:
+        """DataScalar-2 over the matched traditional system."""
+        return self.datascalar2_ipc / self.traditional_half_ipc
+
+    @property
+    def speedup_4(self) -> float:
+        return self.datascalar4_ipc / self.traditional_quarter_ipc
+
+
+def run_benchmark(name: str, scale: int = 1, limit=None,
+                  node=None, bus=None, node_counts=(2, 4)):
+    """Simulate one benchmark on all five systems; returns a
+    :class:`Figure7Row`."""
+    program = build_program(name, scale)
+    node = node or timing_node_config()
+    perfect = PerfectSystem(node.cpu).run(program, limit=limit)
+    ds_results = {}
+    trad_results = {}
+    for count in node_counts:
+        ds = DataScalarSystem(datascalar_config(count, node=node, bus=bus))
+        ds_results[count] = ds.run(program, limit=limit)
+        trad = TraditionalSystem(traditional_config(count, node=node,
+                                                    bus=bus))
+        trad_results[count] = trad.run(program, limit=limit)
+    two, four = node_counts
+    return Figure7Row(
+        benchmark=name,
+        perfect_ipc=perfect.ipc,
+        datascalar2_ipc=ds_results[two].ipc,
+        datascalar4_ipc=ds_results[four].ipc,
+        traditional_half_ipc=trad_results[two].ipc,
+        traditional_quarter_ipc=trad_results[four].ipc,
+        datascalar2_result=ds_results[two],
+        datascalar4_result=ds_results[four],
+    )
+
+
+def run_figure7(benchmarks=None, scale: int = 1, limit=None,
+                node=None, bus=None):
+    """Regenerate Figure 7's bars for every timing benchmark."""
+    return [run_benchmark(name, scale=scale, limit=limit, node=node, bus=bus)
+            for name in benchmarks or TIMING_BENCHMARKS]
+
+
+def format_figure7(rows) -> str:
+    return format_table(
+        ["benchmark", "perfect", "DS 2n", "DS 4n", "trad 1/2", "trad 1/4",
+         "DS2/trad", "DS4/trad"],
+        [[r.benchmark, format_ipc(r.perfect_ipc),
+          format_ipc(r.datascalar2_ipc), format_ipc(r.datascalar4_ipc),
+          format_ipc(r.traditional_half_ipc),
+          format_ipc(r.traditional_quarter_ipc),
+          f"{r.speedup_2:.2f}x", f"{r.speedup_4:.2f}x"] for r in rows],
+        title="Figure 7: instructions per cycle (timing simulation)",
+    )
+
+
+def render_figure7_bars(rows) -> str:
+    """The figure's visual form: grouped IPC bars per benchmark."""
+    from ..analysis.report import render_bars
+
+    blocks = []
+    for row in rows:
+        blocks.append(render_bars(
+            ["perfect", "DS 2n", "DS 4n", "trad 1/2", "trad 1/4"],
+            [row.perfect_ipc, row.datascalar2_ipc, row.datascalar4_ipc,
+             row.traditional_half_ipc, row.traditional_quarter_ipc],
+            title=f"[{row.benchmark}]",
+            unit=" IPC",
+        ))
+    return "\n\n".join(blocks)

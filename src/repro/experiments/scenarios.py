@@ -1,0 +1,117 @@
+"""Technology scenarios: the paper's three candidate DataScalar platforms.
+
+Section 1 names three increasingly-integrated homes for DataScalar:
+
+* **networks of workstations** — huge memories per node, but a slow
+  interconnect (broadcast must be cheap, e.g. a fat tree or optics);
+* **IRAM** — processor/memory chips on a board-level bus (the paper's
+  simulated implementation and our default); and
+* **chip multiprocessors** — many processor+memory banks on one die,
+  where "remote" is across the chip: a much faster, wider bus and little
+  latency gap between local and remote banks.
+
+Each preset keeps the core identical and moves only the memory/bus
+parameters, so runs isolate the technology's effect on the DataScalar
+vs. traditional trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baseline.traditional import TraditionalSystem
+from ..core.system import DataScalarSystem
+from ..params import BusConfig, NodeConfig
+from .config import (
+    datascalar_config,
+    timing_bus_config,
+    timing_node_config,
+    traditional_config,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One technology point: a node template and a bus."""
+
+    name: str
+    description: str
+    node: NodeConfig
+    bus: BusConfig
+
+
+def iram_scenario() -> Scenario:
+    """The paper's evaluated platform (our defaults)."""
+    return Scenario(
+        name="iram",
+        description="IRAM chips on a board-level bus (paper Section 4)",
+        node=timing_node_config(),
+        bus=timing_bus_config(width_bytes=8, cycles_per_bus_cycle=4),
+    )
+
+
+def cmp_scenario() -> Scenario:
+    """A single-die chip multiprocessor: wide, fast on-die interconnect
+    and a small local/remote latency gap."""
+    return Scenario(
+        name="cmp",
+        description="single-chip multiprocessor, on-die broadcast bus",
+        node=timing_node_config(memory_latency=6),
+        bus=timing_bus_config(width_bytes=32, cycles_per_bus_cycle=1),
+    )
+
+
+def now_scenario() -> Scenario:
+    """A network of workstations: big memories, slow broadcasts."""
+    return Scenario(
+        name="now",
+        description="network of workstations, LAN-class broadcast",
+        node=timing_node_config(memory_latency=12),
+        bus=timing_bus_config(width_bytes=4, cycles_per_bus_cycle=32),
+    )
+
+
+SCENARIOS = {
+    scenario().name: scenario()
+    for scenario in (iram_scenario, cmp_scenario, now_scenario)
+}
+
+
+@dataclass
+class ScenarioResult:
+    """DataScalar vs. traditional on one technology point."""
+
+    scenario: str
+    datascalar_ipc: float
+    traditional_ipc: float
+    bus_utilization: float
+
+    @property
+    def speedup(self) -> float:
+        return self.datascalar_ipc / self.traditional_ipc
+
+
+def run_scenario(scenario: Scenario, program, num_nodes: int = 2,
+                 limit=None) -> ScenarioResult:
+    """Run one workload on DataScalar and traditional machines built from
+    ``scenario``'s technology parameters."""
+    ds = DataScalarSystem(datascalar_config(
+        num_nodes, node=scenario.node, bus=scenario.bus)).run(program,
+                                                              limit=limit)
+    trad = TraditionalSystem(traditional_config(
+        num_nodes, node=scenario.node, bus=scenario.bus)).run(program,
+                                                              limit=limit)
+    return ScenarioResult(
+        scenario=scenario.name,
+        datascalar_ipc=ds.ipc,
+        traditional_ipc=trad.ipc,
+        bus_utilization=ds.bus_utilization,
+    )
+
+
+def run_scenarios(program, num_nodes: int = 2, limit=None,
+                  scenarios=None):
+    """Sweep every technology scenario over one workload."""
+    chosen = scenarios or SCENARIOS.values()
+    return [run_scenario(scenario, program, num_nodes, limit)
+            for scenario in chosen]

@@ -1,0 +1,28 @@
+"""Interconnect substrates: messages, queues, broadcast bus, ring."""
+
+from .bus import Bus, BusStats
+from .medium import (
+    BroadcastMedium,
+    BusMedium,
+    OpticalMedium,
+    RingMedium,
+    make_medium,
+)
+from .message import Message, MessageKind
+from .queueing import BoundedQueue, LatencyQueue
+from .ring import Ring
+
+__all__ = [
+    "Bus",
+    "BusStats",
+    "BroadcastMedium",
+    "BusMedium",
+    "OpticalMedium",
+    "RingMedium",
+    "make_medium",
+    "Message",
+    "MessageKind",
+    "BoundedQueue",
+    "LatencyQueue",
+    "Ring",
+]

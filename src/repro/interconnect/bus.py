@@ -1,0 +1,65 @@
+"""The global broadcast bus.
+
+"Broadcasts on a bus are free, since every bus transaction is an implicit
+broadcast" (paper Section 4.4) — so one shared bus carries both ESP
+broadcasts (DataScalar) and request/response/write-back transactions
+(traditional baseline), arbitrated first-come first-served.
+"""
+
+from __future__ import annotations
+
+from ..params import BusConfig
+from .message import Message, MessageKind
+
+
+class BusStats:
+    """Traffic accounting: transactions, payload bytes, busy cycles."""
+
+    __slots__ = ("transactions", "payload_bytes", "wire_bytes", "busy_cycles",
+                 "by_kind")
+
+    def __init__(self):
+        self.transactions = 0
+        self.payload_bytes = 0
+        self.wire_bytes = 0
+        self.busy_cycles = 0
+        self.by_kind = {kind: 0 for kind in MessageKind}
+
+    def utilization(self, total_cycles: int) -> float:
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+
+class Bus:
+    """A single split-transaction bus shared by every node.
+
+    ``transfer(now, message)`` arbitrates (FCFS behind the previous
+    transaction), occupies the bus for the message's transfer time, and
+    returns ``(start, done)``: ``done`` is when the payload has fully
+    arrived at every other node.
+    """
+
+    def __init__(self, config: BusConfig):
+        self.config = config
+        self._next_free = 0
+        self.stats = BusStats()
+
+    def transfer(self, now: int, message: Message) -> "tuple[int, int]":
+        start = max(now, self._next_free)
+        cycles = self.config.transfer_cycles(message.payload_bytes)
+        done = start + cycles
+        self._next_free = done
+        stats = self.stats
+        stats.transactions += 1
+        stats.payload_bytes += message.payload_bytes
+        stats.wire_bytes += message.payload_bytes + self.config.tag_bytes
+        stats.busy_cycles += cycles
+        stats.by_kind[message.kind] += 1
+        return start, done
+
+    def next_free(self) -> int:
+        """Earliest cycle a new transaction could begin arbitration."""
+        return self._next_free
+
+    def reset(self) -> None:
+        self._next_free = 0
+        self.stats = BusStats()

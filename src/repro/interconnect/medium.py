@@ -1,0 +1,156 @@
+"""Pluggable broadcast media for the DataScalar transmit path.
+
+Paper Section 4.4 weighs three ways to deliver ESP broadcasts:
+
+* a **bus** — "broadcasts on a bus are free, since every bus transaction
+  is an implicit broadcast", but it serializes and won't scale;
+* a **ring** (e.g. SCI) — "operations are observed by all nodes if the
+  sender is responsible for removing its own message"; links pipeline,
+  so arrival times stagger around the ring; and
+* **free-space optics** — "extremely cheap (essentially free)
+  broadcasts" for large systems.
+
+Each medium implements ``broadcast(now, src, line, payload_bytes) ->
+arrivals`` where ``arrivals[i]`` is the cycle node ``i`` has the data
+(``None`` for the sender) — the DataScalar system feeds these straight
+into the receivers' BSHRs.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..params import BusConfig
+from .bus import Bus
+from .message import Message, MessageKind
+from .ring import Ring
+
+
+class BroadcastMedium:
+    """Interface shared by every broadcast transport."""
+
+    def broadcast(self, now: int, src: int, line: int,
+                  payload_bytes: int) -> "list":
+        raise NotImplementedError
+
+    @property
+    def transactions(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def payload_bytes(self) -> int:
+        raise NotImplementedError
+
+    def utilization(self, cycles: int) -> float:
+        return 0.0
+
+
+class BusMedium(BroadcastMedium):
+    """The paper's evaluated transport: one serializing bus."""
+
+    def __init__(self, config: BusConfig, num_nodes: int):
+        self.bus = Bus(config)
+        self.num_nodes = num_nodes
+        self._tag = 0
+
+    def broadcast(self, now, src, line, payload_bytes):
+        self._tag += 1
+        message = Message(MessageKind.BROADCAST, src=src, line_addr=line,
+                          payload_bytes=payload_bytes, tag=self._tag)
+        _, done = self.bus.transfer(now, message)
+        return [None if node == src else done
+                for node in range(self.num_nodes)]
+
+    @property
+    def transactions(self):
+        return self.bus.stats.transactions
+
+    @property
+    def payload_bytes(self):
+        return self.bus.stats.payload_bytes
+
+    def utilization(self, cycles):
+        return self.bus.stats.utilization(cycles)
+
+
+class RingMedium(BroadcastMedium):
+    """A unidirectional ring: staggered arrivals, pipelined links.
+
+    Point-to-point links need no arbitration and clock much faster than
+    a shared multi-drop bus (the paper cites SCI's "high-performance
+    capability"), so by default each link runs at the processor clock;
+    pass ``link_divisor`` to slow it.
+    """
+
+    def __init__(self, config: BusConfig, num_nodes: int,
+                 hop_latency: int = 1, link_divisor: int = 1):
+        import dataclasses
+
+        link_config = dataclasses.replace(
+            config,
+            cycles_per_bus_cycle=link_divisor,
+            arbitration_bus_cycles=0,
+        )
+        self.ring = Ring(link_config, num_nodes, hop_latency=hop_latency)
+        self.num_nodes = num_nodes
+        self._tag = 0
+        self._payload = 0
+
+    def broadcast(self, now, src, line, payload_bytes):
+        self._tag += 1
+        message = Message(MessageKind.BROADCAST, src=src, line_addr=line,
+                          payload_bytes=payload_bytes, tag=self._tag)
+        arrivals = self.ring.broadcast(now, message)
+        self._payload += payload_bytes
+        return [None if node == src else arrivals[node]
+                for node in range(self.num_nodes)]
+
+    @property
+    def transactions(self):
+        return self.ring.messages
+
+    @property
+    def payload_bytes(self):
+        return self._payload
+
+
+class OpticalMedium(BroadcastMedium):
+    """Free-space optics: constant latency, no contention.
+
+    Every broadcast reaches every node ``latency`` cycles after the data
+    are ready — the paper's "essentially free" broadcasts.
+    """
+
+    def __init__(self, num_nodes: int, latency: int = 4):
+        if latency < 0:
+            raise ConfigError("optical latency must be >= 0")
+        self.num_nodes = num_nodes
+        self.latency = latency
+        self._transactions = 0
+        self._payload = 0
+
+    def broadcast(self, now, src, line, payload_bytes):
+        self._transactions += 1
+        self._payload += payload_bytes
+        arrival = now + self.latency
+        return [None if node == src else arrival
+                for node in range(self.num_nodes)]
+
+    @property
+    def transactions(self):
+        return self._transactions
+
+    @property
+    def payload_bytes(self):
+        return self._payload
+
+
+def make_medium(kind: str, config: BusConfig, num_nodes: int,
+                **kwargs) -> BroadcastMedium:
+    """Factory: ``"bus"``, ``"ring"``, or ``"optical"``."""
+    if kind == "bus":
+        return BusMedium(config, num_nodes)
+    if kind == "ring":
+        return RingMedium(config, num_nodes, **kwargs)
+    if kind == "optical":
+        return OpticalMedium(num_nodes, **kwargs)
+    raise ConfigError(f"unknown broadcast medium {kind!r}")

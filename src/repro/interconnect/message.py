@@ -1,0 +1,48 @@
+"""Message types carried by the global interconnect.
+
+Asynchronous ESP broadcasts must carry an address/tag because different
+nodes issue broadcasts in an unpredictable order (paper Section 3.1); the
+tag overhead is charged by :meth:`BusConfig.transfer_cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """Every transaction the simulated interconnects carry."""
+
+    #: ESP data broadcast: owner pushes a cache line to all other nodes.
+    BROADCAST = "broadcast"
+    #: Traditional-system read request (address only).
+    REQUEST = "request"
+    #: Traditional-system read response (a cache line).
+    RESPONSE = "response"
+    #: Traditional-system write-back of a dirty line to off-chip memory.
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One interconnect transaction."""
+
+    kind: MessageKind
+    src: int
+    line_addr: int
+    payload_bytes: int
+    #: Sequence tag distinguishing repeated broadcasts of one address.
+    tag: int = 0
+    #: Extra annotations (e.g. ``late=True`` for reparative broadcasts).
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+
+    @property
+    def is_data(self) -> bool:
+        """True when the message carries a data payload."""
+        return self.kind in (MessageKind.BROADCAST, MessageKind.RESPONSE,
+                             MessageKind.WRITEBACK)

@@ -1,0 +1,33 @@
+"""The simulated RISC ISA: opcodes, builder DSL, assembler, interpreter."""
+
+from .assembler import Assembler, assemble
+from .builder import ProgramBuilder
+from .disasm import disassemble, disassemble_instruction
+from .instruction import Instruction
+from .interpreter import ExecResult, Interpreter, run_program
+from .opcodes import OpClass, Opcode
+from .program import Program
+from .tracefile import load_trace, save_trace
+from .trace import IFETCH, READ, WRITE, DynInstr, MemRef
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "ProgramBuilder",
+    "disassemble",
+    "disassemble_instruction",
+    "Instruction",
+    "ExecResult",
+    "Interpreter",
+    "run_program",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "load_trace",
+    "save_trace",
+    "DynInstr",
+    "MemRef",
+    "IFETCH",
+    "READ",
+    "WRITE",
+]

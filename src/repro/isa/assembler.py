@@ -1,0 +1,183 @@
+"""Text-format assembler.
+
+A thin textual front end over the same instruction set the
+:class:`~repro.isa.builder.ProgramBuilder` emits.  One instruction per
+line; ``name:`` defines a label; ``;`` or ``#`` starts a comment.
+Supported directives::
+
+    .alloc  name nbytes [global|heap]   reserve data space
+    .word   name+offset value           initialize a 4-byte slot
+    .double name+offset value           initialize an 8-byte slot
+
+Instruction syntax examples::
+
+    li    r1, 100
+    add   r2, r2, r1
+    lw    r3, r1, 8        ; r3 <- mem[r1 + 8]
+    sw    r3, r1, 12       ; mem[r1 + 12] <- r3
+    beq   r1, r0, done
+    j     loop
+    halt
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblyError
+from .builder import ProgramBuilder
+from .program import Program
+
+#: Instructions taking (rd, rs1, rs2).
+_RRR = {
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+    "sll", "srl", "sra", "slt", "fadd", "fsub", "fmul", "fdiv", "fclt",
+}
+#: Instructions taking (rd, rs1, imm).
+_RRI = {"addi", "andi", "ori", "xori", "slli", "srli", "slti"}
+#: Loads/stores taking (reg, base, offset).
+_MEM = {"lw", "lb", "ld", "sw", "sb", "sd"}
+#: Branches taking (rs1, rs2, label).
+_BRANCH = {"beq", "bne", "blt", "bge", "ble", "bgt"}
+#: Unary register-register ops (rd, rs1).
+_RR = {"mov", "fneg", "fmov", "cvtif", "cvtfi"}
+
+_METHOD_ALIASES = {"and": "and_", "or": "or_"}
+
+
+def _parse_value(token: str) -> float:
+    try:
+        if "." in token or "e" in token.lower():
+            return float(token)
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad numeric literal {token!r}") from exc
+
+
+def _split_operands(rest: str) -> "list[str]":
+    return [t.strip() for t in rest.split(",") if t.strip()]
+
+
+class Assembler:
+    """Parses assembly text into a :class:`Program`."""
+
+    def __init__(self, name: str = "asm"):
+        self.builder = ProgramBuilder(name)
+
+    def assemble(self, text: str) -> Program:
+        """Assemble ``text`` and return the finalized program."""
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            try:
+                self._line(line)
+            except AssemblyError as exc:
+                raise AssemblyError(f"line {lineno}: {exc}") from exc
+        return self.builder.build()
+
+    def _line(self, line: str) -> None:
+        if line.endswith(":"):
+            self.builder.label(line[:-1].strip())
+            return
+        if line.startswith("."):
+            self._directive(line)
+            return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        self._instruction(mnemonic, operands)
+
+    def _directive(self, line: str) -> None:
+        tokens = line.split()
+        name = tokens[0]
+        if name == ".alloc":
+            if len(tokens) not in (3, 4):
+                raise AssemblyError(".alloc takes: name nbytes [global|heap]")
+            where = tokens[3] if len(tokens) == 4 else "global"
+            nbytes = int(tokens[2], 0)
+            if where == "global":
+                self.builder.alloc_global(tokens[1], nbytes)
+            elif where == "heap":
+                self.builder.alloc_heap(tokens[1], nbytes)
+            else:
+                raise AssemblyError(f"unknown segment {where!r}")
+        elif name in (".word", ".double"):
+            if len(tokens) != 3:
+                raise AssemblyError(f"{name} takes: name[+offset] value")
+            address = self._data_address(tokens[1])
+            value = _parse_value(tokens[2])
+            if name == ".word":
+                self.builder.init_word(address, int(value))
+            else:
+                self.builder.init_double(address, float(value))
+        else:
+            raise AssemblyError(f"unknown directive {name!r}")
+
+    def _data_address(self, spec: str) -> int:
+        base, _, offset = spec.partition("+")
+        address = self.builder.address_of(base)
+        if offset:
+            address += int(offset, 0)
+        return address
+
+    def _resolve_imm(self, token: str) -> int:
+        """An immediate may be a number or the address of an allocation."""
+        try:
+            return int(token, 0)
+        except ValueError:
+            return self._data_address(token)
+
+    def _instruction(self, mnemonic: str, operands: "list[str]") -> None:
+        b = self.builder
+        method_name = _METHOD_ALIASES.get(mnemonic, mnemonic)
+        if mnemonic in _RRR:
+            self._expect(mnemonic, operands, 3)
+            getattr(b, method_name)(*operands)
+        elif mnemonic in _RRI:
+            self._expect(mnemonic, operands, 3)
+            getattr(b, method_name)(operands[0], operands[1],
+                                    self._resolve_imm(operands[2]))
+        elif mnemonic in _RR:
+            self._expect(mnemonic, operands, 2)
+            getattr(b, method_name)(*operands)
+        elif mnemonic in _MEM:
+            if len(operands) == 2:
+                operands = operands + ["0"]
+            self._expect(mnemonic, operands, 3)
+            getattr(b, method_name)(operands[0], operands[1],
+                                    self._resolve_imm(operands[2]))
+        elif mnemonic in _BRANCH:
+            self._expect(mnemonic, operands, 3)
+            getattr(b, method_name)(operands[0], operands[1], operands[2])
+        elif mnemonic == "li":
+            self._expect(mnemonic, operands, 2)
+            b.li(operands[0], self._resolve_imm(operands[1]))
+        elif mnemonic == "j":
+            self._expect(mnemonic, operands, 1)
+            b.j(operands[0])
+        elif mnemonic == "jal":
+            if len(operands) == 1:
+                b.jal(operands[0])
+            else:
+                self._expect(mnemonic, operands, 2)
+                b.jal(operands[1], link=operands[0])
+        elif mnemonic == "jr":
+            self._expect(mnemonic, operands, 1)
+            b.jr(operands[0])
+        elif mnemonic == "nop":
+            b.nop()
+        elif mnemonic == "halt":
+            b.halt()
+        else:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+    @staticmethod
+    def _expect(mnemonic: str, operands: "list[str]", count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operands, got {len(operands)}"
+            )
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    return Assembler(name).assemble(text)

@@ -1,0 +1,90 @@
+"""Disassembler: programs back to assembler-compatible text.
+
+Round-trips with :mod:`repro.isa.assembler` for every instruction form,
+which the test suite uses as a cross-check of both components.
+"""
+
+from __future__ import annotations
+
+from . import registers
+from .opcodes import CONDITIONAL_BRANCHES, Opcode
+from .program import Program
+
+_RRR = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SRA,
+    Opcode.SLT, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FCLT,
+}
+_RRI = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.SLTI,
+}
+_RR = {Opcode.MOV, Opcode.FNEG, Opcode.FMOV, Opcode.CVTIF, Opcode.CVTFI}
+_LOADS = {Opcode.LW, Opcode.LB, Opcode.LD}
+_STORES = {Opcode.SW, Opcode.SB, Opcode.SD}
+
+
+def disassemble_instruction(instr, labels_by_index=None) -> str:
+    """Render one instruction as assembler text."""
+    op = instr.op
+    name = op.name.lower()
+    reg = registers.decode
+
+    def target() -> str:
+        if labels_by_index and instr.target in labels_by_index:
+            return labels_by_index[instr.target]
+        return f"L{instr.target}"
+
+    if op in _RRR:
+        return f"{name} {reg(instr.rd)}, {reg(instr.rs1)}, {reg(instr.rs2)}"
+    if op in _RRI:
+        return f"{name} {reg(instr.rd)}, {reg(instr.rs1)}, {instr.imm}"
+    if op in _RR:
+        return f"{name} {reg(instr.rd)}, {reg(instr.rs1)}"
+    if op in _LOADS:
+        return f"{name} {reg(instr.rd)}, {reg(instr.rs1)}, {instr.imm}"
+    if op in _STORES:
+        return f"{name} {reg(instr.rs2)}, {reg(instr.rs1)}, {instr.imm}"
+    if op in CONDITIONAL_BRANCHES:
+        return f"{name} {reg(instr.rs1)}, {reg(instr.rs2)}, {target()}"
+    if op is Opcode.LI:
+        return f"li {reg(instr.rd)}, {instr.imm}"
+    if op is Opcode.J:
+        return f"j {target()}"
+    if op is Opcode.JAL:
+        return f"jal {reg(instr.rd)}, {target()}"
+    if op is Opcode.JR:
+        return f"jr {reg(instr.rs1)}"
+    if op is Opcode.NOP:
+        return "nop"
+    if op is Opcode.HALT:
+        return "halt"
+    raise ValueError(f"cannot disassemble {op!r}")
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program as re-assemblable text.
+
+    Branch targets become ``L<index>`` labels (or the program's original
+    label names where those resolve to the index).  Data allocations are
+    not reconstructed — the text covers the instruction stream.
+    """
+    labels_by_index = {}
+    for label, index in program.labels.items():
+        labels_by_index.setdefault(index, label)
+    needed = set()
+    for instr in program.instructions:
+        if isinstance(instr.target, int):
+            needed.add(instr.target)
+    lines = []
+    for index, instr in enumerate(program.instructions):
+        if index in needed or index in labels_by_index:
+            lines.append(f"{labels_by_index.get(index, f'L{index}')}:")
+        lines.append(f"        {disassemble_instruction(instr, labels_by_index)}")
+    # A label may point one past the last instruction (loop exits).
+    tail = len(program.instructions)
+    if tail in needed or tail in labels_by_index:
+        lines.append(f"{labels_by_index.get(tail, f'L{tail}')}:")
+        lines.append("        nop")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,336 @@
+"""Functional interpreter for the simulated ISA.
+
+This is the execution-driven front end: it runs programs to completion,
+optionally emitting a dynamic-instruction trace (for the timing models) or
+a bare memory-reference stream (for the cache-filter studies of paper
+Sections 3.1 and 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from ..memory.address import INSTRUCTION_BYTES, STACK_TOP, TEXT_BASE
+from .opcodes import OP_CLASS, Opcode
+from .program import Program
+from .registers import NUM_REGS, SP, ZERO
+from .trace import IFETCH, READ, WRITE, DynInstr, MemRef
+
+_U64 = (1 << 64) - 1
+_S63 = 1 << 63
+
+
+def _to_signed(value: int) -> int:
+    """Wrap an integer into signed 64-bit range."""
+    value &= _U64
+    return value - (1 << 64) if value >= _S63 else value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style division truncating toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - b * _trunc_div(a, b)
+
+
+@dataclass
+class ExecResult:
+    """Outcome of a functional run."""
+
+    instructions: int
+    halted: bool
+    registers: list
+    loads: int
+    stores: int
+
+
+class Interpreter:
+    """Executes one :class:`Program` functionally.
+
+    The interpreter is restartable: construct a fresh one per run.  Memory
+    is a sparse dictionary keyed by byte address; every (address, size)
+    slot is accessed consistently by well-formed programs.
+    """
+
+    def __init__(self, program: Program, max_instructions: int = 100_000_000):
+        program.validate()
+        self.program = program
+        self.max_instructions = max_instructions
+        self.registers = [0] * NUM_REGS
+        for fp in range(32, NUM_REGS):
+            self.registers[fp] = 0.0
+        self.registers[SP] = STACK_TOP - 16
+        self.memory = dict(program.data_image)
+        self._code = self._compile(program)
+        self.instructions_executed = 0
+        self.loads = 0
+        self.stores = 0
+        self.halted = False
+
+    @staticmethod
+    def _compile(program: Program):
+        """Flatten instructions into tuples for a fast dispatch loop."""
+        code = []
+        for instr in program.instructions:
+            code.append(
+                (int(instr.op), instr.rd, instr.rs1, instr.rs2, instr.imm,
+                 instr.target)
+            )
+        return code
+
+    # ------------------------------------------------------------------
+    # Core step.  Returns (next_index, mem_kind, address, size) where
+    # mem_kind is None for non-memory instructions.
+    # ------------------------------------------------------------------
+    def _exec_one(self, index: int):
+        op, rd, rs1, rs2, imm, target = self._code[index]
+        regs = self.registers
+        nxt = index + 1
+        kind = None
+        addr = 0
+        size = 0
+
+        if op <= int(Opcode.SLT):  # register-register integer ALU
+            a = regs[rs1]
+            b = regs[rs2]
+            if op == Opcode.ADD:
+                value = a + b
+            elif op == Opcode.SUB:
+                value = a - b
+            elif op == Opcode.MUL:
+                value = _to_signed(a * b)
+            elif op == Opcode.DIV:
+                if b == 0:
+                    raise ExecutionError(f"divide by zero at index {index}")
+                value = _trunc_div(a, b)
+            elif op == Opcode.REM:
+                if b == 0:
+                    raise ExecutionError(f"remainder by zero at index {index}")
+                value = _trunc_rem(a, b)
+            elif op == Opcode.AND:
+                value = a & b
+            elif op == Opcode.OR:
+                value = a | b
+            elif op == Opcode.XOR:
+                value = a ^ b
+            elif op == Opcode.SLL:
+                value = _to_signed(a << (b & 63))
+            elif op == Opcode.SRL:
+                value = (a & _U64) >> (b & 63)
+            elif op == Opcode.SRA:
+                value = a >> (b & 63)
+            else:  # SLT
+                value = 1 if a < b else 0
+            if rd != ZERO:
+                regs[rd] = value
+        elif op <= int(Opcode.MOV):  # immediate integer ALU
+            if op == Opcode.LI:
+                value = imm
+            elif op == Opcode.MOV:
+                value = regs[rs1]
+            else:
+                a = regs[rs1]
+                if op == Opcode.ADDI:
+                    value = a + imm
+                elif op == Opcode.ANDI:
+                    value = a & imm
+                elif op == Opcode.ORI:
+                    value = a | imm
+                elif op == Opcode.XORI:
+                    value = a ^ imm
+                elif op == Opcode.SLLI:
+                    value = _to_signed(a << (imm & 63))
+                elif op == Opcode.SRLI:
+                    value = (a & _U64) >> (imm & 63)
+                else:  # SLTI
+                    value = 1 if a < imm else 0
+            if rd != ZERO:
+                regs[rd] = value
+        elif op <= int(Opcode.SD):  # memory
+            addr = regs[rs1] + imm
+            if op == Opcode.LW or op == Opcode.LB or op == Opcode.LD:
+                size = 4 if op == Opcode.LW else (1 if op == Opcode.LB else 8)
+                if addr % size:
+                    raise ExecutionError(
+                        f"unaligned load of {size} at {addr:#x} (index {index})"
+                    )
+                default = 0.0 if op == Opcode.LD else 0
+                if rd != ZERO:
+                    regs[rd] = self.memory.get(addr, default)
+                kind = READ
+                self.loads += 1
+            else:
+                size = 4 if op == Opcode.SW else (1 if op == Opcode.SB else 8)
+                if addr % size:
+                    raise ExecutionError(
+                        f"unaligned store of {size} at {addr:#x} (index {index})"
+                    )
+                value = regs[rs2]
+                if op == Opcode.SB:
+                    value &= 0xFF
+                self.memory[addr] = value
+                kind = WRITE
+                self.stores += 1
+        elif op <= int(Opcode.CVTFI):  # floating point
+            if op == Opcode.FADD:
+                value = regs[rs1] + regs[rs2]
+            elif op == Opcode.FSUB:
+                value = regs[rs1] - regs[rs2]
+            elif op == Opcode.FMUL:
+                value = regs[rs1] * regs[rs2]
+            elif op == Opcode.FDIV:
+                divisor = regs[rs2]
+                if divisor == 0.0:
+                    raise ExecutionError(f"fp divide by zero at index {index}")
+                value = regs[rs1] / divisor
+            elif op == Opcode.FNEG:
+                value = -regs[rs1]
+            elif op == Opcode.FMOV:
+                value = regs[rs1]
+            elif op == Opcode.FCLT:
+                value = 1 if regs[rs1] < regs[rs2] else 0
+            elif op == Opcode.CVTIF:
+                value = float(regs[rs1])
+            else:  # CVTFI
+                value = int(regs[rs1])
+            if rd != ZERO:
+                regs[rd] = value
+        else:  # control
+            if op == Opcode.BEQ:
+                if regs[rs1] == regs[rs2]:
+                    nxt = target
+            elif op == Opcode.BNE:
+                if regs[rs1] != regs[rs2]:
+                    nxt = target
+            elif op == Opcode.BLT:
+                if regs[rs1] < regs[rs2]:
+                    nxt = target
+            elif op == Opcode.BGE:
+                if regs[rs1] >= regs[rs2]:
+                    nxt = target
+            elif op == Opcode.BLE:
+                if regs[rs1] <= regs[rs2]:
+                    nxt = target
+            elif op == Opcode.BGT:
+                if regs[rs1] > regs[rs2]:
+                    nxt = target
+            elif op == Opcode.J:
+                nxt = target
+            elif op == Opcode.JAL:
+                if rd != ZERO:
+                    regs[rd] = TEXT_BASE + (index + 1) * INSTRUCTION_BYTES
+                nxt = target
+            elif op == Opcode.JR:
+                pc = regs[rs1]
+                nxt, mis = divmod(pc - TEXT_BASE, INSTRUCTION_BYTES)
+                if mis or not 0 <= nxt < len(self._code):
+                    raise ExecutionError(f"JR to bad pc {pc:#x} (index {index})")
+            elif op == Opcode.HALT:
+                self.halted = True
+            # NOP falls through.
+        return nxt, kind, addr, size
+
+    # ------------------------------------------------------------------
+    # Public run modes.
+    # ------------------------------------------------------------------
+    def run(self, limit=None) -> ExecResult:
+        """Execute functionally with no per-instruction records."""
+        for _ in self._indices(limit):
+            pass
+        return self.result()
+
+    def indices(self, limit=None):
+        """Drive execution, yielding the static instruction index of each
+        retired instruction — the cheapest dynamic-path stream (used by
+        the branch-prediction survey)."""
+        return self._indices(limit)
+
+    def _indices(self, limit=None):
+        """Drive execution, yielding the index of each retired instruction."""
+        limit = self.max_instructions if limit is None else limit
+        index = 0
+        code_len = len(self._code)
+        while not self.halted:
+            if self.instructions_executed >= limit:
+                break
+            if not 0 <= index < code_len:
+                raise ExecutionError(f"fell off program at index {index}")
+            current = index
+            index, _, _, _ = self._exec_one(current)
+            self.instructions_executed += 1
+            yield current
+
+    def trace(self, limit=None):
+        """Generate :class:`DynInstr` records for the timing models."""
+        limit = self.max_instructions if limit is None else limit
+        index = 0
+        code_len = len(self._code)
+        instructions = self.program.instructions
+        seq = 0
+        from .opcodes import CONDITIONAL_BRANCHES
+
+        while not self.halted and seq < limit:
+            if not 0 <= index < code_len:
+                raise ExecutionError(f"fell off program at index {index}")
+            instr = instructions[index]
+            pc = TEXT_BASE + index * INSTRUCTION_BYTES
+            previous = index
+            index, kind, addr, size = self._exec_one(index)
+            self.instructions_executed += 1
+            is_cond = instr.op in CONDITIONAL_BRANCHES
+            yield DynInstr(
+                seq,
+                pc,
+                int(OP_CLASS[instr.op]),
+                instr.destination(),
+                instr.sources(),
+                addr if kind else None,
+                size,
+                taken=is_cond and index != previous + 1,
+                is_cond_branch=is_cond,
+            )
+            seq += 1
+
+    def mem_refs(self, limit=None, include_ifetch=True):
+        """Generate bare :class:`MemRef` records (cache-filter studies)."""
+        limit = self.max_instructions if limit is None else limit
+        index = 0
+        code_len = len(self._code)
+        while not self.halted and self.instructions_executed < limit:
+            if not 0 <= index < code_len:
+                raise ExecutionError(f"fell off program at index {index}")
+            pc = TEXT_BASE + index * INSTRUCTION_BYTES
+            index, kind, addr, size = self._exec_one(index)
+            self.instructions_executed += 1
+            if include_ifetch:
+                yield MemRef(IFETCH, pc, INSTRUCTION_BYTES, pc)
+            if kind is not None:
+                yield MemRef(kind, addr, size, pc)
+
+    def result(self) -> ExecResult:
+        """Snapshot the run outcome."""
+        return ExecResult(
+            instructions=self.instructions_executed,
+            halted=self.halted,
+            registers=list(self.registers),
+            loads=self.loads,
+            stores=self.stores,
+        )
+
+    def read_word(self, address: int) -> int:
+        """Read a word from simulated memory (post-run inspection)."""
+        return self.memory.get(address, 0)
+
+    def read_double(self, address: int) -> float:
+        """Read a double from simulated memory (post-run inspection)."""
+        return self.memory.get(address, 0.0)
+
+
+def run_program(program: Program, limit=None) -> ExecResult:
+    """Convenience: run ``program`` functionally and return the result."""
+    return Interpreter(program).run(limit)

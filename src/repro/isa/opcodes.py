@@ -1,0 +1,162 @@
+"""Opcode and operation-class definitions for the simulated RISC ISA.
+
+The ISA is a small MIPS-flavoured load/store architecture, mirroring the
+SimpleScalar toolset the paper used: 32 integer registers (``r0`` wired to
+zero), 32 floating-point registers, immediate forms of the ALU operations,
+word/byte/double memory accesses, and compare-and-branch control flow.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class OpClass(IntEnum):
+    """Functional-unit class; indexes latency/count tables in CPUConfig."""
+
+    IALU = 0
+    IMULT = 1
+    IDIV = 2
+    FADD = 3
+    FMULT = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+
+    @property
+    def fu_name(self) -> str:
+        """Name of the functional unit class executing this operation."""
+        if self in (OpClass.LOAD, OpClass.STORE):
+            return "AGEN"
+        return self.name
+
+
+class Opcode(IntEnum):
+    """Every instruction the assembler and interpreter understand."""
+
+    # Integer register-register ALU.
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    REM = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    SLL = 8
+    SRL = 9
+    SRA = 10
+    SLT = 11
+    # Integer register-immediate ALU.
+    ADDI = 12
+    ANDI = 13
+    ORI = 14
+    XORI = 15
+    SLLI = 16
+    SRLI = 17
+    SLTI = 18
+    LI = 19
+    MOV = 20
+    # Memory.
+    LW = 21
+    SW = 22
+    LB = 23
+    SB = 24
+    LD = 25
+    SD = 26
+    # Floating point.
+    FADD = 27
+    FSUB = 28
+    FMUL = 29
+    FDIV = 30
+    FNEG = 31
+    FMOV = 32
+    FCLT = 33  # rd(int) <- (fs1 < fs2)
+    CVTIF = 34  # fd <- float(rs1)
+    CVTFI = 35  # rd <- int(fs1)
+    # Control.
+    BEQ = 36
+    BNE = 37
+    BLT = 38
+    BGE = 39
+    BLE = 40
+    BGT = 41
+    J = 42
+    JAL = 43
+    JR = 44
+    NOP = 45
+    HALT = 46
+
+
+#: Map from opcode to its functional-unit / scheduling class.
+OP_CLASS = {
+    Opcode.ADD: OpClass.IALU,
+    Opcode.SUB: OpClass.IALU,
+    Opcode.MUL: OpClass.IMULT,
+    Opcode.DIV: OpClass.IDIV,
+    Opcode.REM: OpClass.IDIV,
+    Opcode.AND: OpClass.IALU,
+    Opcode.OR: OpClass.IALU,
+    Opcode.XOR: OpClass.IALU,
+    Opcode.SLL: OpClass.IALU,
+    Opcode.SRL: OpClass.IALU,
+    Opcode.SRA: OpClass.IALU,
+    Opcode.SLT: OpClass.IALU,
+    Opcode.ADDI: OpClass.IALU,
+    Opcode.ANDI: OpClass.IALU,
+    Opcode.ORI: OpClass.IALU,
+    Opcode.XORI: OpClass.IALU,
+    Opcode.SLLI: OpClass.IALU,
+    Opcode.SRLI: OpClass.IALU,
+    Opcode.SLTI: OpClass.IALU,
+    Opcode.LI: OpClass.IALU,
+    Opcode.MOV: OpClass.IALU,
+    Opcode.LW: OpClass.LOAD,
+    Opcode.LB: OpClass.LOAD,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.SW: OpClass.STORE,
+    Opcode.SB: OpClass.STORE,
+    Opcode.SD: OpClass.STORE,
+    Opcode.FADD: OpClass.FADD,
+    Opcode.FSUB: OpClass.FADD,
+    Opcode.FMUL: OpClass.FMULT,
+    Opcode.FDIV: OpClass.FDIV,
+    Opcode.FNEG: OpClass.FADD,
+    Opcode.FMOV: OpClass.FADD,
+    Opcode.FCLT: OpClass.FADD,
+    Opcode.CVTIF: OpClass.FADD,
+    Opcode.CVTFI: OpClass.FADD,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.BLE: OpClass.BRANCH,
+    Opcode.BGT: OpClass.BRANCH,
+    Opcode.J: OpClass.BRANCH,
+    Opcode.JAL: OpClass.BRANCH,
+    Opcode.JR: OpClass.BRANCH,
+    Opcode.NOP: OpClass.IALU,
+    Opcode.HALT: OpClass.BRANCH,
+}
+
+#: Memory access size in bytes for each memory opcode.
+ACCESS_SIZE = {
+    Opcode.LW: 4,
+    Opcode.SW: 4,
+    Opcode.LB: 1,
+    Opcode.SB: 1,
+    Opcode.LD: 8,
+    Opcode.SD: 8,
+}
+
+#: Opcodes whose destination register is floating point.
+FP_DEST = frozenset(
+    {Opcode.LD, Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+     Opcode.FNEG, Opcode.FMOV, Opcode.CVTIF}
+)
+
+#: Conditional branch opcodes (two register sources and a target).
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT}
+)

@@ -1,0 +1,48 @@
+"""Register-file naming and encoding.
+
+Registers are encoded as small integers: integer registers ``r0``–``r31``
+map to 0–31 (with ``r0`` hard-wired to zero) and floating-point registers
+``f0``–``f31`` map to 32–63.  The timing model treats the encoding as a
+flat logical-register namespace for dependence tracking.
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblyError
+
+#: Total number of logical registers (32 integer + 32 floating point).
+NUM_REGS = 64
+#: Encoding of the hard-wired zero register.
+ZERO = 0
+#: Conventional stack pointer.
+SP = 29
+#: Conventional frame/global pointer (free for workload use).
+GP = 28
+#: Conventional return-address register (written by JAL).
+RA = 31
+#: Offset added to a floating-point register number.
+FP_BASE = 32
+
+
+def encode(name: str) -> int:
+    """Translate a register name (``"r7"`` or ``"f3"``) to its encoding."""
+    if not name or name[0] not in ("r", "f") or not name[1:].isdigit():
+        raise AssemblyError(f"bad register name {name!r}")
+    number = int(name[1:])
+    if not 0 <= number < 32:
+        raise AssemblyError(f"register number out of range in {name!r}")
+    return number if name[0] == "r" else FP_BASE + number
+
+
+def decode(reg: int) -> str:
+    """Translate a register encoding back to its name."""
+    if not 0 <= reg < NUM_REGS:
+        raise AssemblyError(f"register encoding {reg} out of range")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_BASE}"
+
+
+def is_fp(reg: int) -> bool:
+    """True when ``reg`` encodes a floating-point register."""
+    return reg >= FP_BASE

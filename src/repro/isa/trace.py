@@ -1,0 +1,71 @@
+"""Dynamic-trace records produced by the functional interpreter.
+
+The paper's evaluation assumes perfect branch prediction, so the committed
+dynamic path equals the functional path.  The timing models therefore
+consume the functional interpreter's instruction stream directly — each
+record carries the true register dependencies and the effective memory
+address, which is exactly the information SimpleScalar's out-of-order
+simulator would have had under perfect prediction.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+
+from .opcodes import OpClass
+
+
+class DynInstr:
+    """One dynamically-executed instruction.
+
+    ``taken`` is meaningful for conditional branches only: whether the
+    branch left the fall-through path (used by the optional realistic
+    branch-prediction mode; the default perfect-prediction mode never
+    reads it).  ``private`` marks loads inside a result-communication
+    region (paper Section 5.1): they bypass the shared-cache discipline
+    entirely — no broadcast, no canonical cache update.
+    """
+
+    __slots__ = ("seq", "pc", "op_class", "dest", "srcs", "addr", "size",
+                 "taken", "is_cond_branch", "private")
+
+    def __init__(self, seq, pc, op_class, dest, srcs, addr=None, size=0,
+                 taken=False, is_cond_branch=False, private=False):
+        self.seq = seq
+        self.pc = pc
+        self.op_class = op_class
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.size = size
+        self.taken = taken
+        self.is_cond_branch = is_cond_branch
+        self.private = private
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class == OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class == OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op_class in (OpClass.LOAD, OpClass.STORE)
+
+    def __repr__(self) -> str:
+        core = f"#{self.seq} pc={self.pc:#x} {OpClass(self.op_class).name}"
+        if self.is_mem:
+            core += f" addr={self.addr:#x}/{self.size}"
+        return f"<DynInstr {core}>"
+
+
+#: A bare memory reference: ``kind`` is ``'I'`` (instruction fetch),
+#: ``'R'`` (data read), or ``'W'`` (data write).
+MemRef = namedtuple("MemRef", ["kind", "addr", "size", "pc"])
+
+#: Reference kinds, exported for callers that filter streams.
+IFETCH = "I"
+READ = "R"
+WRITE = "W"

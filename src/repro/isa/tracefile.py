@@ -1,0 +1,68 @@
+"""Dynamic-trace persistence.
+
+Traces are expensive to regenerate for large runs; this module saves a
+dynamic instruction stream to a compact line-oriented text format and
+replays it later — the timing models accept the replayed iterator in
+place of a live interpreter trace.
+
+Format: one record per line, tab-separated::
+
+    seq  pc  op_class  dest  srcs(comma)  addr  size  flags
+
+``dest``/``addr`` use ``-`` for None; ``flags`` packs taken (bit 0) and
+is_cond_branch (bit 1).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .trace import DynInstr
+
+_HEADER = "#repro-trace-v1"
+
+
+def save_trace(path, trace) -> int:
+    """Write every record of ``trace`` to ``path``; returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write(_HEADER + "\n")
+        for dyn in trace:
+            dest = "-" if dyn.dest is None else str(dyn.dest)
+            srcs = ",".join(str(s) for s in dyn.srcs) if dyn.srcs else "-"
+            addr = "-" if dyn.addr is None else str(dyn.addr)
+            flags = (1 if dyn.taken else 0) | (2 if dyn.is_cond_branch else 0)
+            handle.write(
+                f"{dyn.seq}\t{dyn.pc}\t{dyn.op_class}\t{dest}\t{srcs}\t"
+                f"{addr}\t{dyn.size}\t{flags}\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace(path):
+    """Yield :class:`DynInstr` records from a saved trace file."""
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ReproError(f"{path}: not a repro trace file")
+        for lineno, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != 8:
+                raise ReproError(f"{path}:{lineno}: malformed record")
+            seq, pc, op_class, dest, srcs, addr, size, flags = fields
+            flag_bits = int(flags)
+            yield DynInstr(
+                int(seq),
+                int(pc),
+                int(op_class),
+                None if dest == "-" else int(dest),
+                tuple() if srcs == "-" else tuple(
+                    int(s) for s in srcs.split(",")),
+                None if addr == "-" else int(addr),
+                int(size),
+                taken=bool(flag_bits & 1),
+                is_cond_branch=bool(flag_bits & 2),
+            )

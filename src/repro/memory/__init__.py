@@ -1,0 +1,56 @@
+"""Memory-system substrates: caches, MSHRs, main memory, paging, layout."""
+
+from .address import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    INSTRUCTION_BYTES,
+    STACK_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    Segment,
+    line_base,
+    page_base,
+    page_number,
+    segment_of,
+)
+from .cache import AccessResult, Cache, CacheStats
+from .layout import (
+    LayoutSpec,
+    LayoutSummary,
+    build_page_table,
+    choose_block_size,
+    traditional_page_table,
+)
+from .mainmem import BankedMemory
+from .mshr import MSHREntry, MSHRFile
+from .page_table import PTE, PageTable
+from .profile import PageProfile, profile_program
+
+__all__ = [
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "INSTRUCTION_BYTES",
+    "STACK_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "Segment",
+    "line_base",
+    "page_base",
+    "page_number",
+    "segment_of",
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "LayoutSpec",
+    "LayoutSummary",
+    "build_page_table",
+    "choose_block_size",
+    "traditional_page_table",
+    "BankedMemory",
+    "MSHREntry",
+    "MSHRFile",
+    "PTE",
+    "PageTable",
+    "PageProfile",
+    "profile_program",
+]

@@ -1,0 +1,81 @@
+"""Miss Status Holding Registers.
+
+Track outstanding cache misses by line so secondary misses to an
+in-flight line merge instead of generating duplicate memory traffic —
+the paper's caches are "fully nonblocking and can support an arbitrarily
+high number of outstanding requests", so the default capacity is
+unbounded, but a finite capacity can be configured for studies.
+"""
+
+from __future__ import annotations
+
+from ..errors import MemoryError_
+
+
+class MSHREntry:
+    """One outstanding miss: the line plus every waiting consumer."""
+
+    __slots__ = ("line", "targets", "issued_at")
+
+    def __init__(self, line: int, issued_at: int):
+        self.line = line
+        self.targets = []
+        self.issued_at = issued_at
+
+    def add_target(self, target) -> None:
+        self.targets.append(target)
+
+
+class MSHRFile:
+    """The set of outstanding misses for one cache."""
+
+    def __init__(self, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise MemoryError_("MSHR capacity must be positive or None")
+        self.capacity = capacity
+        self._entries: "dict[int, MSHREntry]" = {}
+        self.allocations = 0
+        self.merges = 0
+
+    def lookup(self, line: int):
+        """Return the outstanding entry for ``line``, or ``None``."""
+        return self._entries.get(line)
+
+    def is_full(self) -> bool:
+        return (self.capacity is not None
+                and len(self._entries) >= self.capacity)
+
+    def allocate(self, line: int, issued_at: int, target=None) -> MSHREntry:
+        """Record a new outstanding miss for ``line``."""
+        if line in self._entries:
+            raise MemoryError_(f"MSHR already tracking line {line:#x}")
+        if self.is_full():
+            raise MemoryError_("MSHR file full")
+        entry = MSHREntry(line, issued_at)
+        if target is not None:
+            entry.add_target(target)
+        self._entries[line] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, line: int, target) -> MSHREntry:
+        """Attach another consumer to an in-flight miss."""
+        entry = self._entries.get(line)
+        if entry is None:
+            raise MemoryError_(f"no outstanding miss for line {line:#x}")
+        entry.add_target(target)
+        self.merges += 1
+        return entry
+
+    def retire(self, line: int) -> MSHREntry:
+        """Complete a miss, returning its entry (with waiting targets)."""
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            raise MemoryError_(f"retiring unknown miss line {line:#x}")
+        return entry
+
+    def outstanding(self) -> int:
+        return len(self._entries)
+
+    def lines(self) -> "frozenset[int]":
+        return frozenset(self._entries)

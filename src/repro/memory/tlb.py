@@ -1,0 +1,78 @@
+"""TLB model and page-table-walk timing.
+
+Paper Section 4.2: "We also implemented address translation ... We
+assume a single-level page table, locked in the low region of physical
+memory."  The replicated/communicated bit and the ownership bit live in
+each PTE, so every node can translate locally; a TLB miss costs one
+access to the locked page-table region of local memory.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class TLBStats:
+    """Hit/miss counters."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """A fully-associative LRU translation buffer.
+
+    ``access(now, addr)`` returns the cycle translation completes:
+    ``now`` on a hit (translation overlaps the cache probe), or after a
+    single page-table access to local memory on a miss — the paper's
+    one-level locked table needs exactly one reference.
+    """
+
+    def __init__(self, entries: int = 64, walker=None,
+                 walk_latency: int = 8, name: str = "tlb"):
+        if entries < 1:
+            raise ConfigError("TLB needs at least one entry")
+        if walk_latency < 0:
+            raise ConfigError("walk_latency must be >= 0")
+        self.entries = entries
+        self.walker = walker  # optional BankedMemory holding the table
+        self.walk_latency = walk_latency
+        self.name = name
+        self._pages: "dict[int, int]" = {}  # page -> LRU stamp
+        self._clock = 0
+        self.stats = TLBStats()
+
+    def access(self, now: int, addr: int, page_size: int) -> int:
+        """Translate ``addr``; returns the translation-ready cycle."""
+        page = addr // page_size
+        self._clock += 1
+        if page in self._pages:
+            self._pages[page] = self._clock
+            self.stats.hits += 1
+            return now
+        self.stats.misses += 1
+        if len(self._pages) >= self.entries:
+            victim = min(self._pages, key=self._pages.get)
+            del self._pages[victim]
+        self._pages[page] = self._clock
+        if self.walker is not None:
+            # One reference to the locked page-table region.
+            return self.walker.access(now, page * 8)
+        return now + self.walk_latency
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    def resident_pages(self) -> "frozenset[int]":
+        return frozenset(self._pages)

@@ -1,0 +1,313 @@
+"""Configuration dataclasses for every simulated subsystem.
+
+Defaults follow Section 4.2 of the paper: an 8-wide, 1 GHz out-of-order
+processor with a 256-entry RUU and a load/store queue half that size;
+split 16KB direct-mapped single-cycle L1 caches (write-back,
+write-noallocate data cache); fast on-chip main memory (8 ns banks); and a
+narrow off-chip bus clocked several times slower than the processor.
+
+All latencies are expressed in *processor cycles*; helpers convert from
+nanoseconds at the configured clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Number of bytes per machine word (integer registers, LW/SW accesses).
+WORD_SIZE = 4
+#: Number of bytes per floating-point double (LD/SD accesses).
+DOUBLE_SIZE = 8
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Out-of-order core parameters (paper Section 4.2)."""
+
+    fetch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    ruu_entries: int = 256
+    #: Load/store queue entries; the paper uses half the RUU size.
+    lsq_entries: int = 128
+    clock_ghz: float = 1.0
+    #: True (default): loads bypass earlier stores to other addresses as
+    #: soon as their operands are ready (oracle disambiguation — the
+    #: trace supplies exact addresses).  False: a load waits until every
+    #: earlier store has issued (conservative disambiguation).
+    oracle_disambiguation: bool = True
+    #: Branch handling: ``"perfect"`` (the paper's assumption), or a real
+    #: predictor — ``"static"``, ``"bimodal"``, ``"gshare"`` — whose
+    #: mispredictions stall fetch until the branch resolves plus the
+    #: redirect penalty.
+    branch_predictor: str = "perfect"
+    #: Fetch-redirect penalty after a misprediction resolves.
+    misprediction_penalty: int = 6
+    #: Functional-unit latencies in cycles, keyed by operation class name.
+    fu_latencies: dict = field(
+        default_factory=lambda: {
+            "IALU": 1,
+            "IMULT": 3,
+            "IDIV": 12,
+            "FADD": 2,
+            "FMULT": 4,
+            "FDIV": 12,
+            "BRANCH": 1,
+            "AGEN": 1,
+        }
+    )
+    #: Functional-unit counts per class; ``None`` entries mean unlimited.
+    fu_counts: dict = field(
+        default_factory=lambda: {
+            "IALU": 8,
+            "IMULT": 2,
+            "IDIV": 2,
+            "FADD": 4,
+            "FMULT": 2,
+            "FDIV": 2,
+            "BRANCH": 8,
+            "AGEN": 8,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        _require(self.fetch_width > 0, "fetch_width must be positive")
+        _require(self.issue_width > 0, "issue_width must be positive")
+        _require(self.commit_width > 0, "commit_width must be positive")
+        _require(self.ruu_entries > 0, "ruu_entries must be positive")
+        _require(self.lsq_entries > 0, "lsq_entries must be positive")
+        _require(
+            self.lsq_entries <= self.ruu_entries,
+            "lsq_entries may not exceed ruu_entries",
+        )
+        _require(self.clock_ghz > 0, "clock_ghz must be positive")
+        _require(
+            self.branch_predictor in ("perfect", "static", "bimodal",
+                                      "gshare"),
+            "branch_predictor must be perfect/static/bimodal/gshare",
+        )
+        _require(self.misprediction_penalty >= 0,
+                 "misprediction_penalty must be >= 0")
+
+    def ns_to_cycles(self, nanoseconds: float) -> int:
+        """Convert a latency in nanoseconds to whole processor cycles."""
+        cycles = nanoseconds * self.clock_ghz
+        return max(1, int(round(cycles)))
+
+    def scaled(self, ruu_entries: int) -> "CPUConfig":
+        """Return a copy with a different window size (LSQ stays RUU/2)."""
+        return dataclasses.replace(
+            self, ruu_entries=ruu_entries, lsq_entries=max(1, ruu_entries // 2)
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One level-one cache (paper: 16KB direct-mapped, single cycle)."""
+
+    size_bytes: int = 16 * 1024
+    assoc: int = 1
+    line_size: int = 32
+    hit_latency: int = 1
+    #: ``"writeback"`` or ``"writethrough"``.
+    write_policy: str = "writeback"
+    #: ``"allocate"`` or ``"noallocate"`` on write misses.  The paper argues
+    #: write-noallocate is superior under ESP (Section 4.2).
+    write_allocate: bool = False
+
+    def __post_init__(self) -> None:
+        _require(_is_pow2(self.line_size), "line_size must be a power of two")
+        _require(_is_pow2(self.assoc), "assoc must be a power of two")
+        _require(
+            self.size_bytes % (self.line_size * self.assoc) == 0,
+            "size_bytes must be a multiple of line_size * assoc",
+        )
+        _require(
+            _is_pow2(self.size_bytes // (self.line_size * self.assoc)),
+            "number of sets must be a power of two",
+        )
+        _require(self.hit_latency >= 1, "hit_latency must be >= 1")
+        _require(
+            self.write_policy in ("writeback", "writethrough"),
+            "write_policy must be 'writeback' or 'writethrough'",
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.assoc)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory timing (paper: 8 ns on-chip banks; slower off-chip)."""
+
+    onchip_latency: int = 8
+    offchip_latency: int = 24
+    #: Number of independently-addressed on-chip banks.
+    num_banks: int = 8
+    #: Virtual-memory page size; Table 2 uses 8KB pages.
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        _require(self.onchip_latency >= 1, "onchip_latency must be >= 1")
+        _require(self.offchip_latency >= 1, "offchip_latency must be >= 1")
+        _require(self.num_banks >= 1, "num_banks must be >= 1")
+        _require(_is_pow2(self.page_size), "page_size must be a power of two")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """The global off-chip bus shared by all nodes.
+
+    The paper's off-chip bus is 8 bytes wide and clocked several processor
+    cycles per bus cycle; the network interface adds a two-cycle penalty in
+    both the DataScalar (broadcast queue) and traditional (request queue)
+    systems.
+    """
+
+    width_bytes: int = 8
+    #: Processor cycles per bus cycle (Figure 8 sweeps this).
+    cycles_per_bus_cycle: int = 4
+    #: Cycles spent in the network-interface queue before any transfer.
+    interface_latency: int = 2
+    #: Bus cycles consumed by arbitration before each transaction.
+    arbitration_bus_cycles: int = 1
+    #: Bytes of addressing/tag overhead carried by each broadcast or request
+    #: (asynchronous ESP must ship an address/tag with every broadcast).
+    tag_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        _require(_is_pow2(self.width_bytes), "width_bytes must be a power of two")
+        _require(self.cycles_per_bus_cycle >= 1, "cycles_per_bus_cycle must be >= 1")
+        _require(self.interface_latency >= 0, "interface_latency must be >= 0")
+        _require(self.arbitration_bus_cycles >= 0, "arbitration must be >= 0")
+        _require(self.tag_bytes >= 0, "tag_bytes must be >= 0")
+
+    def transfer_cycles(self, payload_bytes: int) -> int:
+        """Processor cycles to move ``payload_bytes`` (+tag) across the bus."""
+        total = payload_bytes + self.tag_bytes
+        bus_cycles = (total + self.width_bytes - 1) // self.width_bytes
+        bus_cycles += self.arbitration_bus_cycles
+        return bus_cycles * self.cycles_per_bus_cycle
+
+
+@dataclass(frozen=True)
+class BSHRConfig:
+    """Broadcast Status Holding Registers (paper Section 4.2, Figure 5)."""
+
+    entries: int = 128
+    access_latency: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.entries >= 1, "entries must be >= 1")
+        _require(self.access_latency >= 0, "access_latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything on one DataScalar chip (Figure 5 datapath)."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    bshr: BSHRConfig = field(default_factory=BSHRConfig)
+    #: Cycles a broadcast waits in the outbound queue (paper: two).
+    broadcast_queue_latency: int = 2
+    #: Hold every broadcast until the initiating load commits.  This is
+    #: the conservative speculative-broadcast discipline the paper
+    #: sketches ("buffer speculative broadcasts at the network interface
+    #: ... allow them to proceed only when they were determined to be
+    #: correct") — required when running with a real branch predictor.
+    commit_time_broadcasts: bool = False
+    #: Data-TLB entries; 0 disables translation modeling (the default —
+    #: the paper's single-level locked page table makes walks one local
+    #: memory access, charged on TLB misses when enabled).
+    tlb_entries: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.broadcast_queue_latency >= 0,
+            "broadcast_queue_latency must be >= 0",
+        )
+        _require(self.tlb_entries >= 0, "tlb_entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete DataScalar machine: N identical nodes on one bus."""
+
+    num_nodes: int = 2
+    node: NodeConfig = field(default_factory=NodeConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    #: Communicated pages are distributed round-robin in blocks of this many
+    #: pages (Table 2 varies this per benchmark).
+    distribution_block_pages: int = 4
+    #: Replicate the program text at every node (the paper's simulated
+    #: implementation does, obviating an instruction correspondence protocol).
+    replicate_text: bool = True
+    #: Maximum dynamically-simulated instructions before giving up.
+    max_cycles: int = 200_000_000
+    #: Enable the Section 5.1 result-communication extension.
+    result_communication: bool = False
+    #: Broadcast transport: ``"bus"`` (the paper's evaluated transport),
+    #: ``"ring"`` (SCI-style), or ``"optical"`` (free-space, contention-
+    #: free) — Section 4.4's candidates.
+    interconnect: str = "bus"
+    #: Optional unified L2 per node: dynamic replication moves to the
+    #: second level (the paper's footnote 4 alternative).  ``None``
+    #: keeps the paper's L1-only scheme.
+    l2: "CacheConfig | None" = None
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 1, "num_nodes must be >= 1")
+        _require(
+            self.distribution_block_pages >= 1,
+            "distribution_block_pages must be >= 1",
+        )
+        _require(self.max_cycles > 0, "max_cycles must be positive")
+        _require(
+            self.interconnect in ("bus", "ring", "optical"),
+            "interconnect must be bus/ring/optical",
+        )
+
+
+@dataclass(frozen=True)
+class TraditionalConfig:
+    """The Figure 6(a) comparison system: one CPU, 1/N of memory on-chip.
+
+    The off-chip portion is reached by request/response transactions over
+    the same bus the DataScalar system uses for broadcasts, and cache tags
+    are likewise updated at commit for a fair comparison.
+    """
+
+    node: NodeConfig = field(default_factory=NodeConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    #: Fraction of main memory that is on-chip, expressed as 1/denominator.
+    onchip_fraction_denom: int = 2
+    distribution_block_pages: int = 4
+    replicate_text: bool = True
+    max_cycles: int = 200_000_000
+
+    def __post_init__(self) -> None:
+        _require(
+            self.onchip_fraction_denom >= 1,
+            "onchip_fraction_denom must be >= 1",
+        )
+        _require(
+            self.distribution_block_pages >= 1,
+            "distribution_block_pages must be >= 1",
+        )
+        _require(self.max_cycles > 0, "max_cycles must be positive")

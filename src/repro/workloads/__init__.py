@@ -1,0 +1,94 @@
+"""SPEC95-like synthetic workloads (see DESIGN.md for the substitution
+rationale: each kernel reproduces the memory-behaviour fingerprint of its
+SPEC95 namesake, re-expressed in the simulated ISA)."""
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from . import (
+    applu,
+    compress,
+    fpppp,
+    gcc,
+    go,
+    hydro2d,
+    li,
+    m88ksim,
+    mgrid,
+    perl,
+    swim,
+    tomcatv,
+    turb3d,
+    vortex,
+    wave5,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark kernel."""
+
+    name: str
+    category: str  # "fp" or "int"
+    description: str
+    module: object
+
+    def build(self, scale: int = 1):
+        """Build the program at the given scale factor."""
+        if scale < 1:
+            raise ReproError(f"scale must be >= 1, got {scale}")
+        return self.module.build(scale)
+
+
+_REGISTRY = [
+    Workload("tomcatv", "fp", "2D mesh relaxation, 5-point sweeps", tomcatv),
+    Workload("swim", "fp", "shallow water, interleaved grid arrays", swim),
+    Workload("hydro2d", "fp", "2D hydrodynamics, row+column sweeps", hydro2d),
+    Workload("mgrid", "fp", "3D multigrid stencil + restriction", mgrid),
+    Workload("applu", "fp", "SSOR wavefront substitution", applu),
+    Workload("m88ksim", "int", "CPU simulator fetch/decode/dispatch", m88ksim),
+    Workload("turb3d", "fp", "FFT butterflies, power-of-two strides", turb3d),
+    Workload("gcc", "int", "IR tree walking + symbol table scan", gcc),
+    Workload("compress", "int", "LZW hash table, store-heavy", compress),
+    Workload("li", "int", "cons-cell churn over a tiny heap", li),
+    Workload("perl", "int", "string hashing, chained buckets", perl),
+    Workload("fpppp", "fp", "huge FP basic blocks, tiny data", fpppp),
+    Workload("wave5", "fp", "particle-in-cell gather/scatter", wave5),
+    Workload("vortex", "int", "OO database transactions", vortex),
+    Workload("go", "int", "game-tree evaluation, tiny board", go),
+]
+
+#: name -> Workload for every registered kernel.
+WORKLOADS = {workload.name: workload for workload in _REGISTRY}
+
+#: The fourteen benchmarks of Table 1/Table 2, in the paper's order.
+TABLE_BENCHMARKS = [
+    "tomcatv", "swim", "hydro2d", "mgrid", "applu", "m88ksim", "turb3d",
+    "gcc", "compress", "li", "perl", "fpppp", "wave5", "vortex",
+]
+
+#: The six benchmarks of the timing experiments (Figures 7/8, Table 3).
+TIMING_BENCHMARKS = ["applu", "compress", "go", "mgrid", "turb3d", "wave5"]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    if name not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ReproError(f"unknown workload {name!r}; known: {known}")
+    return WORKLOADS[name]
+
+
+def build_program(name: str, scale: int = 1):
+    """Build the named workload's program."""
+    return get_workload(name).build(scale)
+
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "TABLE_BENCHMARKS",
+    "TIMING_BENCHMARKS",
+    "get_workload",
+    "build_program",
+]

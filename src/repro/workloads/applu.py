@@ -1,0 +1,95 @@
+"""applu-like kernel: SSOR forward/backward substitution.
+
+SPEC95 *applu* solves parabolic/elliptic PDEs with symmetric successive
+over-relaxation.  The fingerprint: wavefront sweeps whose inner loop
+*reads values written moments earlier* (v[i-1], v[i-row], v[i-plane]) —
+memory-carried dependence chains that stress store-to-load forwarding
+and produce the short, migrating datathreads of the FP codes.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """Forward then backward SSOR sweep over an n^3 grid (n=12*scale)."""
+    n = 12 * scale
+    plane = n * n * 8
+    row = n * 8
+    b = ProgramBuilder("applu")
+    v = b.alloc_global("v", n * n * n * 8)
+    rhs = b.alloc_global("rhs", n * n * n * 8)
+    consts = b.alloc_global("consts", 16)
+    csum = checksum_slot(b)
+    init_double_array(b, v, n * n * n, lambda i: 0.0)
+    init_double_array(b, rhs, n * n * n, lambda i: 1.0 + (i % 19) * 0.125)
+    b.init_double(consts, 0.4)  # over-relaxation factor
+
+    b.li("r1", consts)
+    b.ld("f25", "r1", 0)
+
+    # Forward substitution: v[k,j,i] from already-updated lower neighbors.
+    b.li("r10", 1)
+    b.li("r9", n - 1)
+    with b.while_cond("lt", "r10", "r9"):
+        b.li("r20", plane)
+        b.mul("r21", "r10", "r20")
+        b.li("r11", 1)
+        with b.while_cond("lt", "r11", "r9"):
+            b.li("r22", row)
+            b.mul("r12", "r11", "r22")
+            b.add("r12", "r12", "r21")
+            b.addi("r13", "r12", rhs + 8)
+            b.addi("r12", "r12", v + 8)
+            with b.repeat(n - 2, "r14"):
+                b.ld("f1", "r12", -8)       # just written this row
+                b.ld("f2", "r12", -row)     # written this sweep
+                b.ld("f3", "r12", -plane)
+                b.ld("f4", "r13", 0)
+                b.fadd("f5", "f1", "f2")
+                b.fadd("f5", "f5", "f3")
+                b.fmul("f5", "f5", "f25")
+                b.fsub("f6", "f4", "f5")
+                b.sd("f6", "r12", 0)
+                b.addi("r12", "r12", 8)
+                b.addi("r13", "r13", 8)
+            b.addi("r11", "r11", 1)
+        b.addi("r10", "r10", 1)
+
+    # Backward substitution: mirror-image sweep.
+    b.li("r10", n - 2)
+    b.li("r9", 0)
+    with b.while_cond("gt", "r10", "r9"):
+        b.li("r20", plane)
+        b.mul("r21", "r10", "r20")
+        b.li("r11", n - 2)
+        with b.while_cond("gt", "r11", "r9"):
+            b.li("r22", row)
+            b.mul("r12", "r11", "r22")
+            b.add("r12", "r12", "r21")
+            b.addi("r12", "r12", v + (n - 2) * 8)
+            with b.repeat(n - 2, "r14"):
+                b.ld("f1", "r12", 8)
+                b.ld("f2", "r12", row)
+                b.ld("f3", "r12", plane)
+                b.ld("f4", "r12", 0)
+                b.fadd("f5", "f1", "f2")
+                b.fadd("f5", "f5", "f3")
+                b.fmul("f5", "f5", "f25")
+                b.fsub("f6", "f4", "f5")
+                b.sd("f6", "r12", 0)
+                b.addi("r12", "r12", -8)
+            b.addi("r11", "r11", -1)
+        b.addi("r10", "r10", -1)
+
+    b.li("r1", v + plane + row + 8)
+    b.cvtif("f0", "r0")
+    with b.repeat(n, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

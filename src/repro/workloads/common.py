@@ -1,0 +1,67 @@
+"""Shared helpers for authoring workload kernels.
+
+Every kernel is a function ``build(scale=1) -> Program`` written against
+the :class:`~repro.isa.builder.ProgramBuilder` DSL.  These helpers cover
+the recurring idioms: 2D/3D array indexing, in-register linear
+congruential "input data", and checksum plumbing so tests can verify a
+kernel computes something deterministic.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+
+#: Multiplier/increment of the in-register LCG (Numerical Recipes').
+LCG_MULT = 1664525
+LCG_INC = 1013904223
+LCG_MASK = 0xFFFFFFFF
+
+
+def lcg_step(b: ProgramBuilder, reg: str, tmp: str) -> None:
+    """Advance the 32-bit LCG state held in ``reg`` (clobbers ``tmp``)."""
+    b.li(tmp, LCG_MULT)
+    b.mul(reg, reg, tmp)
+    b.addi(reg, reg, LCG_INC)
+    b.li(tmp, LCG_MASK)
+    b.and_(reg, reg, tmp)
+
+
+def row_base(b: ProgramBuilder, dest: str, array_base: int, row_reg: str,
+             row_bytes: int, tmp: str) -> None:
+    """``dest = array_base + row_reg * row_bytes`` (clobbers ``tmp``)."""
+    b.li(tmp, row_bytes)
+    b.mul(dest, row_reg, tmp)
+    b.addi(dest, dest, array_base)
+
+
+def checksum_slot(b: ProgramBuilder) -> int:
+    """Allocate the conventional 8-byte checksum slot."""
+    return b.alloc_global("checksum", 8)
+
+
+def store_checksum(b: ProgramBuilder, addr: int, reg: str,
+                   tmp: str = "r26") -> None:
+    """Store an integer checksum register to the checksum slot."""
+    b.li(tmp, addr)
+    b.sw(reg, tmp, 0)
+
+
+def store_checksum_fp(b: ProgramBuilder, addr: int, freg: str,
+                      tmp: str = "r26") -> None:
+    """Store a floating-point checksum register to the checksum slot."""
+    b.li(tmp, addr)
+    b.sd(freg, tmp, 0)
+
+
+def init_double_array(b: ProgramBuilder, base: int, count: int,
+                      fn=lambda i: (i % 17) * 0.25 + 1.0) -> None:
+    """Fill a double array in the initial memory image."""
+    for index in range(count):
+        b.init_double(base + 8 * index, fn(index))
+
+
+def init_word_array(b: ProgramBuilder, base: int, count: int,
+                    fn=lambda i: (i * 2654435761) & 0x7FFFFFFF) -> None:
+    """Fill a word array in the initial memory image."""
+    for index in range(count):
+        b.init_word(base + 4 * index, fn(index))

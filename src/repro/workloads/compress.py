@@ -1,0 +1,67 @@
+"""compress-like kernel: LZW hash-table compression.
+
+SPEC95 *compress* spends its time probing and filling a large hash table.
+The fingerprint the paper leans on: "compress issues almost as many
+stores as loads, which never have to go off-chip in a DataScalar system"
+— Figure 7's biggest win.  Each symbol hashes into a 64KB table; probes
+that miss insert (two stores), probes that match update a count (one
+store).
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import LCG_INC, LCG_MULT, checksum_slot, lcg_step, \
+    store_checksum
+
+#: Hash-table entries (words); 64KB table + 64KB code table.
+TABLE_ENTRIES = 16384
+
+
+def build(scale: int = 1):
+    """Compress 2000*scale pseudo-random symbols."""
+    symbols = 2000 * scale
+    mask = TABLE_ENTRIES - 1
+    b = ProgramBuilder("compress")
+    table = b.alloc_global("htab", TABLE_ENTRIES * 4)
+    codes = b.alloc_global("codetab", TABLE_ENTRIES * 4)
+    csum = checksum_slot(b)
+
+    b.li("r10", 12345)      # LCG state = input stream
+    b.li("r11", 0)          # next free code
+    b.li("r12", 0)          # checksum
+    b.li("r15", mask)
+    with b.repeat(symbols, "r20"):
+        lcg_step(b, "r10", "r21")
+        # fcode = symbol; hash = (fcode >> 4) & mask.
+        b.srli("r13", "r10", 4)
+        b.and_("r13", "r13", "r15")
+        b.slli("r14", "r13", 2)
+        b.addi("r16", "r14", table)
+        b.lw("r17", "r16", 0)        # probe
+        with b.if_cond("eq", "r17", "r10"):
+            # Hit: bump the code's use count.
+            b.addi("r18", "r14", 0)
+            b.addi("r18", "r18", codes)
+            b.lw("r19", "r18", 0)
+            b.addi("r19", "r19", 1)
+            b.sw("r19", "r18", 0)
+        with b.if_cond("ne", "r17", "r10"):
+            # Miss: check the displaced code, then insert symbol and its
+            # new code (one load, two stores -> stores ~ loads overall).
+            b.addi("r18", "r14", 0)
+            b.addi("r18", "r18", codes)
+            b.lw("r19", "r18", 0)
+            b.add("r12", "r12", "r19")
+            b.sw("r10", "r16", 0)
+            b.addi("r11", "r11", 1)
+            b.sw("r11", "r18", 0)
+        b.add("r12", "r12", "r13")
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()
+
+
+# Re-export the LCG constants for tests that model the input stream.
+__all__ = ["build", "TABLE_ENTRIES", "LCG_MULT", "LCG_INC"]

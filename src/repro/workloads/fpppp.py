@@ -1,0 +1,68 @@
+"""fpppp-like kernel: quantum-chemistry two-electron integrals.
+
+SPEC95 *fpppp* computes multi-electron integral derivatives: enormous
+straight-line basic blocks of floating-point arithmetic over a tiny data
+set.  The fingerprint: text large relative to data (the paper notes
+fpppp's code datathreads run into the thousands because so much of its
+text is replicated), negligible data-cache pressure, and deep FP
+dependence chains.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+#: Number of distinct straight-line integral blocks (each is unique code).
+NUM_BLOCKS = 10
+#: FP operations per block.
+OPS_PER_BLOCK = 96
+
+
+def _integral_block(b: ProgramBuilder, block_index: int) -> None:
+    """Emit one long straight-line block combining the 8 staged values
+    in f1..f8 into f9, with block-unique dataflow."""
+    rotation = block_index % 7
+    b.fadd("f9", "f1", "f2")
+    for op in range(OPS_PER_BLOCK):
+        a = 1 + (op + rotation) % 8
+        c = 1 + (op * 3 + block_index) % 8
+        if op % 4 == 0:
+            b.fmul("f9", "f9", f"f{a}")
+        elif op % 4 == 1:
+            b.fadd("f9", "f9", f"f{c}")
+        elif op % 4 == 2:
+            b.fsub(f"f{a}", f"f{a}", "f9")
+        else:
+            b.fadd("f9", f"f{a}", f"f{c}")
+
+
+def build(scale: int = 1):
+    """Iterate NUM_BLOCKS straight-line integral blocks over a small
+    basis set (24 * scale outer iterations)."""
+    iterations = 24 * scale
+    b = ProgramBuilder("fpppp")
+    basis = b.alloc_global("basis", 64 * 8)
+    out = b.alloc_global("out", NUM_BLOCKS * 8)
+    csum = checksum_slot(b)
+    init_double_array(b, basis, 64, lambda i: 1.0 + i * 0.015625)
+
+    b.li("r4", out)
+    with b.repeat(iterations, "r20"):
+        b.li("r1", basis)
+        for block in range(NUM_BLOCKS):
+            # Stage eight basis values (hot, cached after first pass).
+            for reg in range(1, 9):
+                b.ld(f"f{reg}", "r1", ((block * 8 + reg) % 64) * 8)
+            _integral_block(b, block)
+            b.sd("f9", "r4", block * 8)
+
+    b.li("r1", out)
+    b.cvtif("f0", "r0")
+    with b.repeat(NUM_BLOCKS, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

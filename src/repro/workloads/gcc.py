@@ -1,0 +1,78 @@
+"""gcc-like kernel: irregular tree walking over compiler IR.
+
+SPEC95 *gcc* traverses pointer-linked RTL trees with data-dependent
+branching and a large, poorly-localized working set.  The fingerprint: a
+heap-allocated binary tree (64KB of 16-byte nodes) descended root-to-leaf
+along pseudo-random paths, marking visit counts (occasional stores), plus
+a symbol-table scan phase.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..memory.address import HEAP_BASE
+from .common import checksum_slot, lcg_step, store_checksum
+
+#: Nodes in the IR tree; each node is 4 words (left, right, value, visits).
+TREE_NODES = 4095
+
+
+def build(scale: int = 1):
+    """400*scale root-to-leaf walks plus a symbol-table scan."""
+    walks = 400 * scale
+    b = ProgramBuilder("gcc")
+    tree = b.alloc_heap("tree", TREE_NODES * 16)
+    symtab = b.alloc_global("symtab", 2048 * 4)
+    csum = checksum_slot(b)
+    # Heap-style binary tree: node i's children are 2i+1 and 2i+2.
+    for i in range(TREE_NODES):
+        left = 2 * i + 1
+        right = 2 * i + 2
+        b.init_word(tree + 16 * i + 0,
+                    tree + 16 * left if left < TREE_NODES else 0)
+        b.init_word(tree + 16 * i + 4,
+                    tree + 16 * right if right < TREE_NODES else 0)
+        b.init_word(tree + 16 * i + 8, (i * 2654435761) & 0xFFFF)
+    for i in range(2048):
+        b.init_word(symtab + 4 * i, (i * 40503) & 0xFFFF)
+
+    b.li("r10", 98765)   # LCG path selector
+    b.li("r12", 0)       # checksum
+    with b.repeat(walks, "r20"):
+        lcg_step(b, "r10", "r21")
+        b.li("r13", tree)            # current node
+        b.mov("r14", "r10")          # path bits
+        loop = b.fresh_label("descend")
+        done = b.fresh_label("leaf")
+        b.label(loop)
+        b.beq("r13", "r0", done)
+        b.lw("r15", "r13", 8)        # node value
+        b.add("r12", "r12", "r15")
+        b.lw("r16", "r13", 12)       # visit count
+        b.addi("r16", "r16", 1)
+        b.sw("r16", "r13", 12)
+        b.andi("r17", "r14", 1)
+        b.srli("r14", "r14", 1)
+        with b.if_cond("eq", "r17", "r0"):
+            b.lw("r13", "r13", 0)    # left child
+        with b.if_cond("ne", "r17", "r0"):
+            b.lw("r13", "r13", 4)    # right child
+        b.j(loop)
+        b.label(done)
+
+    # Symbol-table scan: count entries above a threshold.
+    b.li("r13", symtab)
+    b.li("r15", 0x8000)
+    with b.repeat(2048, "r20"):
+        b.lw("r14", "r13", 0)
+        with b.if_cond("gt", "r14", "r15"):
+            b.addi("r12", "r12", 1)
+        b.addi("r13", "r13", 4)
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()
+
+
+#: Sanity constant exported for tests: the tree lives in the heap.
+TREE_SEGMENT_BASE = HEAP_BASE

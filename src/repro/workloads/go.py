@@ -1,0 +1,106 @@
+"""go-like kernel: game-tree position evaluation.
+
+SPEC95 *go* (The Many Faces of Go) evaluates board positions with deeply
+branchy integer code over a small board.  The fingerprint: a compact
+working set (a 19x19 board plus small side arrays — DataScalar's gains
+are modest when little data is communicated), branch-dense neighbor
+scans, and ray-casting loops with data-dependent exits.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, lcg_step, store_checksum
+
+#: Board edge; positions are stored in a SIZE*SIZE word array.
+SIZE = 19
+
+
+def build(scale: int = 1):
+    """Evaluate 250*scale candidate moves on a pseudo-random board."""
+    moves = 250 * scale
+    cells = SIZE * SIZE
+    b = ProgramBuilder("go")
+    board = b.alloc_global("board", cells * 4)
+    influence = b.alloc_global("influence", cells * 4)
+    history = b.alloc_global("history", 2048 * 4)
+    # Pattern library: joseki/shape tables consulted per candidate move
+    # (real go's data segment is dominated by pattern databases).
+    patterns = b.alloc_global("patterns", 4096 * 4)
+    csum = checksum_slot(b)
+    for i in range(cells):
+        b.init_word(board + 4 * i, (i * 2654435761 >> 8) % 3)  # 0/1/2
+    for i in range(4096):
+        b.init_word(patterns + 4 * i, (i * 40503) & 0xFF)
+
+    b.li("r10", 31415)   # LCG move selector
+    b.li("r12", 0)       # score accumulator
+    b.li("r11", history)  # history cursor
+    b.li("r9", history + 2048 * 4 - 4)
+    with b.repeat(moves, "r20"):
+        lcg_step(b, "r10", "r21")
+        # Pick a cell away from the edge: 1 + x % (SIZE-2).
+        b.li("r13", SIZE - 2)
+        b.rem("r14", "r10", "r13")
+        with b.if_cond("lt", "r14", "r0"):
+            b.add("r14", "r14", "r13")
+        b.addi("r14", "r14", 1)          # row
+        b.srli("r15", "r10", 8)
+        b.rem("r16", "r15", "r13")
+        with b.if_cond("lt", "r16", "r0"):
+            b.add("r16", "r16", "r13")
+        b.addi("r16", "r16", 1)          # col
+        b.li("r17", SIZE)
+        b.mul("r18", "r14", "r17")
+        b.add("r18", "r18", "r16")
+        b.slli("r18", "r18", 2)
+        b.addi("r19", "r18", board)      # &board[cell]
+        # Count friendly neighbors (branch-dense).
+        b.li("r22", 0)
+        for offset in (-4, 4, -SIZE * 4, SIZE * 4):
+            b.lw("r23", "r19", offset)
+            b.li("r24", 1)
+            with b.if_cond("eq", "r23", "r24"):
+                b.addi("r22", "r22", 1)
+        # Cast a ray east until a stone or the edge (data-dependent exit).
+        b.mov("r25", "r16")
+        b.mov("r21", "r19")
+        ray = b.fresh_label("ray")
+        ray_end = b.fresh_label("rayend")
+        b.label(ray)
+        b.li("r24", SIZE - 1)
+        b.bge("r25", "r24", ray_end)
+        b.addi("r21", "r21", 4)
+        b.lw("r23", "r21", 0)
+        b.bne("r23", "r0", ray_end)
+        b.addi("r25", "r25", 1)
+        b.addi("r22", "r22", 1)          # open-space bonus
+        b.j(ray)
+        b.label(ray_end)
+        # Consult the pattern library at a shape-dependent index.
+        b.mul("r23", "r18", "r22")
+        b.li("r24", 4095)
+        b.and_("r23", "r23", "r24")
+        b.slli("r23", "r23", 2)
+        b.addi("r23", "r23", patterns)
+        b.lw("r24", "r23", 0)
+        b.add("r22", "r22", "r24")
+        # Update influence and (occasionally) play the move.
+        b.addi("r23", "r18", 0)
+        b.addi("r23", "r23", influence)
+        b.lw("r24", "r23", 0)
+        b.add("r24", "r24", "r22")
+        b.sw("r24", "r23", 0)
+        b.li("r24", 3)
+        with b.if_cond("gt", "r22", "r24"):
+            b.li("r25", 1)
+            b.sw("r25", "r19", 0)        # place a stone
+            b.sw("r18", "r11", 0)        # record in history
+            b.addi("r11", "r11", 4)
+            with b.if_cond("gt", "r11", "r9"):
+                b.li("r11", history)
+        b.add("r12", "r12", "r22")
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()

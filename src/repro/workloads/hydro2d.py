@@ -1,0 +1,86 @@
+"""hydro2d-like kernel: 2D hydrodynamical Navier-Stokes sweeps.
+
+SPEC95 *hydro2d* computes galactical jets with alternating row/column
+sweeps over several state arrays.  The fingerprint: four interleaved 2D
+arrays, a division in the inner loop (long-latency FDIV pressure), and
+column-order sweeps whose large stride defeats spatial locality.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """One row sweep and one column sweep over four grids (n=28*scale)."""
+    n = 28 * scale
+    row_bytes = n * 8
+    b = ProgramBuilder("hydro2d")
+    aro = b.alloc_global("ro", n * n * 8)
+    apx = b.alloc_global("px", n * n * 8)
+    apy = b.alloc_global("py", n * n * 8)
+    aen = b.alloc_global("en", n * n * 8)
+    csum = checksum_slot(b)
+    init_double_array(b, aro, n * n, lambda i: 1.0 + (i % 6) * 0.5)
+    init_double_array(b, apx, n * n, lambda i: 0.1 * (i % 10))
+    init_double_array(b, apy, n * n, lambda i: 0.2 * (i % 5))
+    init_double_array(b, aen, n * n, lambda i: 5.0 + (i % 4))
+
+    # Row sweep: momentum update with density division.
+    b.li("r10", 1)
+    b.li("r9", n - 1)
+    with b.while_cond("lt", "r10", "r9"):
+        b.li("r16", row_bytes)
+        b.mul("r12", "r10", "r16")
+        b.addi("r13", "r12", apx + 8)
+        b.addi("r14", "r12", apy + 8)
+        b.addi("r15", "r12", aen + 8)
+        b.addi("r12", "r12", aro + 8)
+        with b.repeat(n - 2, "r11"):
+            b.ld("f1", "r12", 0)   # ro
+            b.ld("f2", "r13", 0)   # px
+            b.ld("f3", "r14", 0)   # py
+            b.ld("f4", "r15", 0)   # en
+            b.fdiv("f5", "f2", "f1")   # vx = px / ro
+            b.fdiv("f6", "f3", "f1")   # vy = py / ro
+            b.fmul("f7", "f5", "f5")
+            b.fmul("f8", "f6", "f6")
+            b.fadd("f7", "f7", "f8")
+            b.fsub("f9", "f4", "f7")   # internal energy
+            b.sd("f9", "r15", 0)
+            b.ld("f10", "r12", 8)
+            b.fadd("f11", "f1", "f10")
+            b.fmul("f11", "f11", "f5")
+            b.sd("f11", "r13", 0)
+            for reg in ("r12", "r13", "r14", "r15"):
+                b.addi(reg, reg, 8)
+        b.addi("r10", "r10", 1)
+
+    # Column sweep: stride-n walks (poor spatial locality).
+    b.li("r10", 1)  # column index
+    b.li("r9", n - 1)
+    with b.while_cond("lt", "r10", "r9"):
+        b.slli("r12", "r10", 3)
+        b.addi("r13", "r12", apy + row_bytes)
+        b.addi("r12", "r12", aro + row_bytes)
+        with b.repeat(n - 2, "r11"):
+            b.ld("f1", "r12", 0)
+            b.ld("f2", "r12", row_bytes)
+            b.ld("f3", "r13", 0)
+            b.fadd("f4", "f1", "f2")
+            b.fmul("f4", "f4", "f3")
+            b.sd("f4", "r13", 0)
+            b.addi("r12", "r12", row_bytes)
+            b.addi("r13", "r13", row_bytes)
+        b.addi("r10", "r10", 1)
+
+    b.li("r1", aen + (n // 2) * row_bytes)
+    b.cvtif("f0", "r0")
+    with b.repeat(n, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

@@ -1,0 +1,73 @@
+"""li-like kernel: Lisp interpreter cons-cell churn.
+
+SPEC95 *li* is xlisp running a small workload: its data set is tiny and
+hot ("the datathread length for li is high because most of its data set
+is replicated" — Table 2), dominated by pointer chasing through cons
+cells.  This kernel builds lists from a free list, reverses them in place
+(pointer stores), and traverses them (dependent-load chains).
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, store_checksum
+
+#: Cons cells in the heap (each is two words: car, cdr).
+CELLS = 4096
+
+
+def build(scale: int = 1):
+    """60*scale rounds of cons / reverse / sum over a 200-cell list."""
+    rounds = 60 * scale
+    list_len = 200
+    b = ProgramBuilder("li")
+    heap = b.alloc_heap("cells", CELLS * 8)
+    csum = checksum_slot(b)
+    # Initial free list: cell i -> cell i+1.
+    for i in range(CELLS):
+        b.init_word(heap + 8 * i, i + 1)  # car: payload
+        nxt = heap + 8 * (i + 1) if i + 1 < CELLS else 0
+        b.init_word(heap + 8 * i + 4, nxt)  # cdr: next free
+
+    b.li("r10", heap)  # free-list head
+    b.li("r12", 0)     # checksum
+    with b.repeat(rounds, "r20"):
+        # cons up a fresh list of list_len cells (or reuse the pool
+        # cyclically once exhausted).
+        b.li("r13", 0)  # list head (nil)
+        with b.repeat(list_len, "r21"):
+            with b.if_cond("eq", "r10", "r0"):
+                b.li("r10", heap)        # refill from the pool
+            b.lw("r14", "r10", 4)        # next free
+            b.sw("r13", "r10", 4)        # cdr <- old head
+            b.mov("r13", "r10")          # head <- cell
+            b.mov("r10", "r14")
+        # Destructive reverse (nreverse): pure pointer stores.
+        b.li("r15", 0)  # prev
+        loop = b.fresh_label("rev")
+        done = b.fresh_label("revdone")
+        b.label(loop)
+        b.beq("r13", "r0", done)
+        b.lw("r16", "r13", 4)
+        b.sw("r15", "r13", 4)
+        b.mov("r15", "r13")
+        b.mov("r13", "r16")
+        b.j(loop)
+        b.label(done)
+        # Traverse, summing cars (dependent loads).
+        b.mov("r13", "r15")
+        walk = b.fresh_label("walk")
+        walked = b.fresh_label("walked")
+        b.label(walk)
+        b.beq("r13", "r0", walked)
+        b.lw("r17", "r13", 0)
+        b.add("r12", "r12", "r17")
+        b.lw("r13", "r13", 4)
+        b.j(walk)
+        b.label(walked)
+        # Return the cells to the free list for the next round.
+        b.mov("r10", "r15")
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()

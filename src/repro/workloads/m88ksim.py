@@ -1,0 +1,100 @@
+"""m88ksim-like kernel: an instruction-set simulator simulating itself.
+
+SPEC95 *m88ksim* simulates a Motorola 88100: fetch a simulated
+instruction word, decode its fields, dispatch on the opcode, and update a
+simulated register file and memory.  The fingerprint: a large read-mostly
+instruction-memory array, a small hot register-file array, a simulated
+data memory hit by load/store cases, and heavy data-dependent branching.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_word_array, store_checksum
+
+#: Simulated instruction memory (words).
+SIM_TEXT_WORDS = 8192
+#: Simulated data memory (words).
+SIM_DATA_WORDS = 4096
+#: Simulated register file (words).
+SIM_REGS = 32
+
+
+def build(scale: int = 1):
+    """Simulate 2500*scale target instructions."""
+    steps = 2500 * scale
+    b = ProgramBuilder("m88ksim")
+    sim_text = b.alloc_global("simtext", SIM_TEXT_WORDS * 4)
+    sim_data = b.alloc_global("simdata", SIM_DATA_WORDS * 4)
+    sim_regs = b.alloc_global("simregs", SIM_REGS * 4)
+    csum = checksum_slot(b)
+    # Encoded target instruction: [op:3][rd:5][rs:5][imm:16] packed low.
+    init_word_array(
+        b, sim_text, SIM_TEXT_WORDS,
+        lambda i: (((i * 2654435761) >> 3) & 0x7)
+        | ((((i * 40503) >> 2) & 0x1F) << 3)
+        | ((((i * 69069) >> 5) & 0x1F) << 8)
+        | (((i * 12345) & 0xFFF) << 13),
+    )
+    init_word_array(b, sim_data, SIM_DATA_WORDS, lambda i: i & 0xFFFF)
+    init_word_array(b, sim_regs, SIM_REGS, lambda i: i)
+
+    b.li("r10", 0)   # simulated pc (word index)
+    b.li("r12", 0)   # checksum
+    b.li("r9", SIM_TEXT_WORDS - 1)
+    with b.repeat(steps, "r20"):
+        # Fetch.
+        b.slli("r13", "r10", 2)
+        b.addi("r13", "r13", sim_text)
+        b.lw("r14", "r13", 0)
+        # Decode.
+        b.andi("r15", "r14", 0x7)         # op
+        b.srli("r16", "r14", 3)
+        b.andi("r16", "r16", 0x1F)        # rd
+        b.srli("r17", "r14", 8)
+        b.andi("r17", "r17", 0x1F)        # rs
+        b.srli("r18", "r14", 13)          # imm
+        # Register-file reads.
+        b.slli("r21", "r16", 2)
+        b.addi("r21", "r21", sim_regs)    # &regs[rd]
+        b.slli("r22", "r17", 2)
+        b.addi("r22", "r22", sim_regs)    # &regs[rs]
+        b.lw("r23", "r22", 0)             # regs[rs]
+        # Dispatch.
+        with b.if_cond("eq", "r15", "r0"):        # 0: add-immediate
+            b.add("r24", "r23", "r18")
+            b.sw("r24", "r21", 0)
+        b.li("r25", 1)
+        with b.if_cond("eq", "r15", "r25"):       # 1: xor
+            b.lw("r24", "r21", 0)
+            b.xor("r24", "r24", "r23")
+            b.sw("r24", "r21", 0)
+        b.li("r25", 2)
+        with b.if_cond("eq", "r15", "r25"):       # 2: load
+            b.li("r24", SIM_DATA_WORDS - 1)
+            b.and_("r24", "r18", "r24")
+            b.slli("r24", "r24", 2)
+            b.addi("r24", "r24", sim_data)
+            b.lw("r24", "r24", 0)
+            b.sw("r24", "r21", 0)
+        b.li("r25", 3)
+        with b.if_cond("eq", "r15", "r25"):       # 3: store
+            b.li("r24", SIM_DATA_WORDS - 1)
+            b.and_("r24", "r18", "r24")
+            b.slli("r24", "r24", 2)
+            b.addi("r24", "r24", sim_data)
+            b.sw("r23", "r24", 0)
+        b.li("r25", 4)
+        with b.if_cond("eq", "r15", "r25"):       # 4: branch if rs != 0
+            with b.if_cond("ne", "r23", "r0"):
+                b.andi("r10", "r18", 0xFFF)
+        # Default/arith cases fold into the checksum.
+        b.add("r12", "r12", "r15")
+        # Advance and wrap the simulated pc.
+        b.addi("r10", "r10", 1)
+        with b.if_cond("gt", "r10", "r9"):
+            b.li("r10", 0)
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()

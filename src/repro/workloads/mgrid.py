@@ -1,0 +1,105 @@
+"""mgrid-like kernel: 3D multigrid V-cycle pieces.
+
+SPEC95 *mgrid* applies multigrid smoothing over 3D grids.  The
+fingerprint: a 7-point 3D stencil (unit, plane, and slab strides in the
+same loop body), plus a stride-2 restriction to a coarser grid — large
+power-of-two strides that touch pages owned by different nodes in quick
+succession, giving the short data datathreads Table 2 reports.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """One smoothing sweep plus one restriction (n = 16 * scale)."""
+    n = 16 * scale
+    plane = n * n * 8
+    row = n * 8
+    half = n // 2
+    b = ProgramBuilder("mgrid")
+    fine = b.alloc_global("fine", n * n * n * 8)
+    resid = b.alloc_global("resid", n * n * n * 8)
+    coarse = b.alloc_global("coarse", half * half * half * 8)
+    consts = b.alloc_global("consts", 16)
+    csum = checksum_slot(b)
+    init_double_array(b, fine, n * n * n, lambda i: 1.0 + (i % 23) * 0.0625)
+    b.init_double(consts, 1.0 / 6.0)
+
+    b.li("r1", consts)
+    b.ld("f25", "r1", 0)
+
+    # 7-point smoothing: resid = avg(neighbors) - center.
+    b.li("r10", 1)          # k (slab)
+    b.li("r9", n - 1)
+    with b.while_cond("lt", "r10", "r9"):
+        b.li("r20", plane)
+        b.mul("r21", "r10", "r20")  # slab offset
+        b.li("r11", 1)      # j (row)
+        with b.while_cond("lt", "r11", "r9"):
+            b.li("r22", row)
+            b.mul("r12", "r11", "r22")
+            b.add("r12", "r12", "r21")
+            b.addi("r13", "r12", resid + 8)
+            b.addi("r12", "r12", fine + 8)
+            with b.repeat(n - 2, "r14"):
+                b.ld("f1", "r12", -8)
+                b.ld("f2", "r12", 8)
+                b.ld("f3", "r12", -row)
+                b.ld("f4", "r12", row)
+                b.ld("f5", "r12", -plane)
+                b.ld("f6", "r12", plane)
+                b.ld("f7", "r12", 0)
+                b.fadd("f8", "f1", "f2")
+                b.fadd("f9", "f3", "f4")
+                b.fadd("f10", "f5", "f6")
+                b.fadd("f8", "f8", "f9")
+                b.fadd("f8", "f8", "f10")
+                b.fmul("f8", "f8", "f25")
+                b.fsub("f8", "f8", "f7")
+                b.sd("f8", "r13", 0)
+                b.addi("r12", "r12", 8)
+                b.addi("r13", "r13", 8)
+            b.addi("r11", "r11", 1)
+        b.addi("r10", "r10", 1)
+
+    # Restriction: coarse[k,j,i] = resid at stride-2 sample points.
+    b.li("r10", 0)
+    b.li("r9", half)
+    with b.while_cond("lt", "r10", "r9"):
+        b.li("r11", 0)
+        with b.while_cond("lt", "r11", "r9"):
+            # fine index (2k, 2j, 0); coarse index (k, j, 0).
+            b.li("r20", 2 * plane)
+            b.mul("r21", "r10", "r20")
+            b.li("r22", 2 * row)
+            b.mul("r23", "r11", "r22")
+            b.add("r21", "r21", "r23")
+            b.addi("r12", "r21", resid)
+            b.li("r20", half * half * 8)
+            b.mul("r21", "r10", "r20")
+            b.li("r22", half * 8)
+            b.mul("r23", "r11", "r22")
+            b.add("r21", "r21", "r23")
+            b.addi("r13", "r21", coarse)
+            with b.repeat(half, "r14"):
+                b.ld("f1", "r12", 0)
+                b.ld("f2", "r12", 8)
+                b.fadd("f1", "f1", "f2")
+                b.sd("f1", "r13", 0)
+                b.addi("r12", "r12", 16)  # stride-2 in the fine grid
+                b.addi("r13", "r13", 8)
+            b.addi("r11", "r11", 1)
+        b.addi("r10", "r10", 1)
+
+    b.li("r1", coarse)
+    b.cvtif("f0", "r0")
+    with b.repeat(half * half, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

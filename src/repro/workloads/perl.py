@@ -1,0 +1,83 @@
+"""perl-like kernel: string hashing into chained hash tables.
+
+SPEC95 *perl* interprets scripts dominated by associative-array
+operations: byte-at-a-time string hashing, bucket lookup, and chain
+walking.  The fingerprint: byte loads (LB) over a text buffer, a bucket
+array, pointer-chased chains in the heap, and bump-allocated inserts.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, store_checksum
+
+#: Hash buckets (words holding chain-head pointers).
+BUCKETS = 2048
+#: Chain nodes: key, value, next (3 words + pad).
+NODE_BYTES = 16
+#: Bytes of "script text" hashed per token.
+TOKEN_BYTES = 8
+
+
+def build(scale: int = 1):
+    """Tokenize and intern 1200*scale tokens from a 16KB text buffer."""
+    tokens = 1200 * scale
+    text_bytes = 16384
+    b = ProgramBuilder("perl")
+    text = b.alloc_global("text", text_bytes)
+    buckets = b.alloc_global("buckets", BUCKETS * 4)
+    arena = b.alloc_heap("arena", (tokens + 1) * NODE_BYTES)
+    csum = checksum_slot(b)
+    for i in range(text_bytes):
+        b.init_byte(text + i, (i * 131 + 7) & 0xFF)
+
+    b.li("r10", text)     # read cursor
+    b.li("r11", arena)    # bump allocator
+    b.li("r12", 0)        # checksum
+    b.li("r9", text + text_bytes - TOKEN_BYTES)
+    with b.repeat(tokens, "r20"):
+        # Hash TOKEN_BYTES bytes: h = h*31 + byte.
+        b.li("r13", 0)
+        b.li("r22", 31)
+        with b.repeat(TOKEN_BYTES, "r21"):
+            b.lb("r14", "r10", 0)
+            b.mul("r13", "r13", "r22")
+            b.add("r13", "r13", "r14")
+            b.addi("r10", "r10", 1)
+        with b.if_cond("gt", "r10", "r9"):
+            b.li("r10", text)  # wrap the cursor
+        b.li("r15", BUCKETS - 1)
+        b.and_("r16", "r13", "r15")
+        b.slli("r16", "r16", 2)
+        b.addi("r16", "r16", buckets)
+        # Walk the chain looking for the key.
+        b.lw("r17", "r16", 0)
+        b.li("r18", 0)  # found flag
+        chain = b.fresh_label("chain")
+        chain_end = b.fresh_label("chainend")
+        b.label(chain)
+        b.beq("r17", "r0", chain_end)
+        b.lw("r19", "r17", 0)  # key
+        with b.if_cond("eq", "r19", "r13"):
+            b.lw("r23", "r17", 4)
+            b.addi("r23", "r23", 1)
+            b.sw("r23", "r17", 4)  # bump value
+            b.li("r18", 1)
+            b.j(chain_end)
+        b.lw("r17", "r17", 8)  # next
+        b.j(chain)
+        b.label(chain_end)
+        with b.if_cond("eq", "r18", "r0"):
+            # Intern: allocate a node, link at bucket head.
+            b.sw("r13", "r11", 0)
+            b.li("r23", 1)
+            b.sw("r23", "r11", 4)
+            b.lw("r24", "r16", 0)
+            b.sw("r24", "r11", 8)
+            b.sw("r11", "r16", 0)
+            b.addi("r11", "r11", NODE_BYTES)
+        b.add("r12", "r12", "r13")
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()

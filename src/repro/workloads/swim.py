@@ -1,0 +1,86 @@
+"""swim-like kernel: shallow-water finite differences.
+
+SPEC95 *swim* integrates the shallow-water equations over 2D grids.  The
+fingerprint: many distinct arrays (u, v, p and their successors) read in
+the *same* inner loop — interleaved accesses to arrays that land on
+different owners cut datathreads short (the effect the paper calls out
+for the FP codes: "our approximation of datathreads is cut by
+interleaved accesses to arrays residing at different processors").
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """Two half-steps over six ``n x n`` grids (n = 24 * scale)."""
+    n = 24 * scale
+    row_bytes = n * 8
+    b = ProgramBuilder("swim")
+    au = b.alloc_global("u", n * n * 8)
+    av = b.alloc_global("v", n * n * 8)
+    ap = b.alloc_global("p", n * n * 8)
+    aun = b.alloc_global("unew", n * n * 8)
+    avn = b.alloc_global("vnew", n * n * 8)
+    apn = b.alloc_global("pnew", n * n * 8)
+    consts = b.alloc_global("consts", 16)
+    csum = checksum_slot(b)
+    init_double_array(b, au, n * n, lambda i: 0.5 + (i % 11) * 0.1)
+    init_double_array(b, av, n * n, lambda i: 0.25 + (i % 5) * 0.2)
+    init_double_array(b, ap, n * n, lambda i: 10.0 + (i % 9) * 0.5)
+    b.init_double(consts, 0.125)
+
+    b.li("r1", consts)
+    b.ld("f25", "r1", 0)  # the time-step weight
+
+    for src_u, src_v, src_p, dst_u, dst_v, dst_p in (
+        (au, av, ap, aun, avn, apn),
+        (aun, avn, apn, au, av, ap),
+    ):
+        b.li("r10", 1)
+        b.li("r9", n - 1)
+        with b.while_cond("lt", "r10", "r9"):
+            b.li("r16", row_bytes)
+            b.mul("r12", "r10", "r16")
+            b.addi("r13", "r12", src_v + 8)
+            b.addi("r14", "r12", src_p + 8)
+            b.addi("r15", "r12", dst_u + 8)
+            b.addi("r17", "r12", dst_v + 8)
+            b.addi("r18", "r12", dst_p + 8)
+            b.addi("r12", "r12", src_u + 8)
+            with b.repeat(n - 2, "r11"):
+                # Interleave reads across u, v, p every iteration.
+                b.ld("f1", "r12", 0)
+                b.ld("f2", "r13", 0)
+                b.ld("f3", "r14", 0)
+                b.ld("f4", "r14", 8)
+                b.ld("f5", "r14", -8)
+                b.fsub("f6", "f4", "f5")       # dp/dx
+                b.fmul("f6", "f6", "f25")
+                b.fsub("f7", "f1", "f6")       # u'
+                b.sd("f7", "r15", 0)
+                b.ld("f8", "r14", row_bytes)
+                b.ld("f9", "r14", -row_bytes)
+                b.fsub("f10", "f8", "f9")      # dp/dy
+                b.fmul("f10", "f10", "f25")
+                b.fsub("f11", "f2", "f10")     # v'
+                b.sd("f11", "r17", 0)
+                b.fadd("f12", "f7", "f11")
+                b.fmul("f12", "f12", "f25")
+                b.fsub("f13", "f3", "f12")     # p'
+                b.sd("f13", "r18", 0)
+                for reg in ("r12", "r13", "r14", "r15", "r17", "r18"):
+                    b.addi(reg, reg, 8)
+            b.addi("r10", "r10", 1)
+
+    b.li("r1", ap + (n // 2) * row_bytes)
+    b.fmov("f0", "f25")
+    with b.repeat(n, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

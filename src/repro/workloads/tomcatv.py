@@ -1,0 +1,92 @@
+"""tomcatv-like kernel: vectorized 2D mesh relaxation.
+
+SPEC95 *tomcatv* generates meshes by relaxing coupled 2D grids.  The
+memory fingerprint this kernel reproduces: several large double-precision
+2D arrays swept row-major with 5-point neighborhoods, high spatial
+locality, moderate store traffic (two result arrays per sweep), and a
+text segment small enough to replicate.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """Two relaxation sweeps over ``n x n`` grids (n = 32 * scale)."""
+    n = 32 * scale
+    row_bytes = n * 8
+    b = ProgramBuilder("tomcatv")
+    ax = b.alloc_global("x", n * n * 8)
+    ay = b.alloc_global("y", n * n * 8)
+    arx = b.alloc_global("rx", n * n * 8)
+    ary = b.alloc_global("ry", n * n * 8)
+    consts = b.alloc_global("consts", 16)
+    csum = checksum_slot(b)
+    init_double_array(b, ax, n * n, lambda i: 1.0 + (i % 13) * 0.125)
+    init_double_array(b, ay, n * n, lambda i: 2.0 + (i % 7) * 0.25)
+    b.init_double(consts, 0.25)
+
+    b.li("r1", consts)
+    b.ld("f25", "r1", 0)  # the relaxation weight
+
+    with b.repeat(2, "r20"):  # two sweeps
+        b.li("r10", 1)  # i
+        b.li("r9", n - 1)
+        with b.while_cond("lt", "r10", "r9"):
+            # Row pointers at column 1 of row i.
+            b.li("r16", row_bytes)
+            b.mul("r12", "r10", "r16")
+            b.addi("r13", "r12", ay + 8)
+            b.addi("r14", "r12", arx + 8)
+            b.addi("r15", "r12", ary + 8)
+            b.addi("r12", "r12", ax + 8)
+            with b.repeat(n - 2, "r11"):
+                # x residual: 5-point neighborhood.
+                b.ld("f1", "r12", -8)
+                b.ld("f2", "r12", 8)
+                b.ld("f3", "r12", -row_bytes)
+                b.ld("f4", "r12", row_bytes)
+                b.ld("f5", "r12", 0)
+                b.fadd("f6", "f1", "f2")
+                b.fadd("f7", "f3", "f4")
+                b.fadd("f6", "f6", "f7")
+                b.fmul("f6", "f6", "f25")
+                b.fsub("f6", "f6", "f5")
+                b.sd("f6", "r14", 0)
+                # y residual.
+                b.ld("f1", "r13", -8)
+                b.ld("f2", "r13", 8)
+                b.ld("f3", "r13", -row_bytes)
+                b.ld("f4", "r13", row_bytes)
+                b.ld("f5", "r13", 0)
+                b.fadd("f8", "f1", "f2")
+                b.fadd("f7", "f3", "f4")
+                b.fadd("f8", "f8", "f7")
+                b.fmul("f8", "f8", "f25")
+                b.fsub("f8", "f8", "f5")
+                b.sd("f8", "r15", 0)
+                # Correct the grids toward the residuals.
+                b.ld("f9", "r12", 0)
+                b.fadd("f9", "f9", "f6")
+                b.sd("f9", "r12", 0)
+                b.ld("f10", "r13", 0)
+                b.fadd("f10", "f10", "f8")
+                b.sd("f10", "r13", 0)
+                b.addi("r12", "r12", 8)
+                b.addi("r13", "r13", 8)
+                b.addi("r14", "r14", 8)
+                b.addi("r15", "r15", 8)
+            b.addi("r10", "r10", 1)
+
+    # Checksum: sum the middle row of rx.
+    b.li("r1", arx + (n // 2) * row_bytes)
+    b.fmov("f0", "f25")
+    with b.repeat(n, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

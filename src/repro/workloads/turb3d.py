@@ -1,0 +1,79 @@
+"""turb3d-like kernel: FFT butterflies for turbulence simulation.
+
+SPEC95 *turb3d* simulates isotropic turbulence with 3D FFTs.  The
+fingerprint: log(N) passes of radix-2 butterflies whose stride doubles
+each pass — power-of-two strides that (a) collide in a direct-mapped
+cache (exercising the correspondence protocol's false hits/misses, which
+the paper observed were worst on turb3d) and (b) hop across owners.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, store_checksum_fp
+
+
+def build(scale: int = 1):
+    """An in-place radix-2 transform over 2^m complex points
+    (m = 9 + scale)."""
+    m = 9 + scale
+    points = 1 << m
+    b = ProgramBuilder("turb3d")
+    # Interleaved complex data: re at 16*i, im at 16*i + 8.
+    data = b.alloc_global("data", points * 16)
+    consts = b.alloc_global("consts", 32)
+    csum = checksum_slot(b)
+    init_double_array(b, data, points * 2,
+                      lambda i: 1.0 if i % 2 == 0 else 0.5 + (i % 9) * 0.125)
+    b.init_double(consts, 0.92387953)   # fixed rotation (cos)
+    b.init_double(consts + 8, 0.38268343)  # fixed rotation (sin)
+
+    b.li("r1", consts)
+    b.ld("f20", "r1", 0)
+    b.ld("f21", "r1", 8)
+
+    for stage in range(m):
+        stride = 16 << stage          # bytes between butterfly partners
+        group = stride * 2
+        groups = points * 16 // group
+        b.li("r10", 0)                # group counter
+        b.li("r9", groups)
+        with b.while_cond("lt", "r10", "r9"):
+            b.li("r20", group)
+            b.mul("r12", "r10", "r20")
+            b.addi("r12", "r12", data)   # top of group
+            b.addi("r13", "r12", stride)  # partner
+            with b.repeat(stride // 16, "r14"):
+                b.ld("f1", "r12", 0)   # a.re
+                b.ld("f2", "r12", 8)   # a.im
+                b.ld("f3", "r13", 0)   # b.re
+                b.ld("f4", "r13", 8)   # b.im
+                # b' = rotated b (fixed twiddle keeps the code short;
+                # the memory behaviour is the point).
+                b.fmul("f5", "f3", "f20")
+                b.fmul("f6", "f4", "f21")
+                b.fsub("f5", "f5", "f6")
+                b.fmul("f7", "f3", "f21")
+                b.fmul("f8", "f4", "f20")
+                b.fadd("f7", "f7", "f8")
+                b.fadd("f9", "f1", "f5")
+                b.fadd("f10", "f2", "f7")
+                b.fsub("f11", "f1", "f5")
+                b.fsub("f12", "f2", "f7")
+                b.sd("f9", "r12", 0)
+                b.sd("f10", "r12", 8)
+                b.sd("f11", "r13", 0)
+                b.sd("f12", "r13", 8)
+                b.addi("r12", "r12", 16)
+                b.addi("r13", "r13", 16)
+            b.addi("r10", "r10", 1)
+
+    b.li("r1", data)
+    b.cvtif("f0", "r0")
+    with b.repeat(64, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 16)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

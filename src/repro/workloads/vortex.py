@@ -1,0 +1,66 @@
+"""vortex-like kernel: object-oriented database transactions.
+
+SPEC95 *vortex* runs insert/lookup transactions against an in-memory OO
+database.  The fingerprint: an index array mapping keys to records,
+multi-word records read and *updated* (notable store traffic for an
+integer code), and occasional pointer hops to related records.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, lcg_step, store_checksum
+
+#: Records in the database; each record is 8 words (32 bytes).
+RECORDS = 2048
+RECORD_BYTES = 32
+
+
+def build(scale: int = 1):
+    """1500*scale lookup/update transactions."""
+    transactions = 1500 * scale
+    b = ProgramBuilder("vortex")
+    index = b.alloc_global("index", RECORDS * 4)
+    store = b.alloc_heap("records", RECORDS * RECORD_BYTES)
+    csum = checksum_slot(b)
+    for i in range(RECORDS):
+        # Index: a scrambled permutation of record addresses.
+        target = (i * 769) % RECORDS
+        b.init_word(index + 4 * i, store + target * RECORD_BYTES)
+    for i in range(RECORDS):
+        base = store + i * RECORD_BYTES
+        b.init_word(base + 0, i)                       # key
+        b.init_word(base + 4, (i * 40503) & 0xFFFF)    # balance
+        b.init_word(base + 8, 0)                       # touch count
+        related = (i * 31 + 7) % RECORDS
+        b.init_word(base + 12, store + related * RECORD_BYTES)
+
+    b.li("r10", 55555)   # LCG key stream
+    b.li("r12", 0)       # checksum
+    with b.repeat(transactions, "r20"):
+        lcg_step(b, "r10", "r21")
+        b.li("r13", RECORDS - 1)
+        b.and_("r13", "r10", "r13")
+        b.slli("r13", "r13", 2)
+        b.addi("r13", "r13", index)
+        b.lw("r14", "r13", 0)        # record pointer
+        b.lw("r15", "r14", 4)        # balance
+        b.addi("r15", "r15", 3)
+        b.sw("r15", "r14", 4)        # update balance
+        b.lw("r16", "r14", 8)
+        b.addi("r16", "r16", 1)
+        b.sw("r16", "r14", 8)        # bump touch count
+        b.add("r12", "r12", "r15")
+        # Every fourth transaction follows the related-record pointer.
+        b.andi("r17", "r10", 3)
+        with b.if_cond("eq", "r17", "r0"):
+            b.lw("r18", "r14", 12)
+            b.lw("r19", "r18", 4)
+            b.add("r12", "r12", "r19")
+            b.lw("r16", "r18", 8)
+            b.addi("r16", "r16", 1)
+            b.sw("r16", "r18", 8)
+
+    store_checksum(b, csum, "r12")
+    b.halt()
+    return b.build()

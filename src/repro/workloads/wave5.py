@@ -1,0 +1,76 @@
+"""wave5-like kernel: particle-in-cell plasma simulation.
+
+SPEC95 *wave5* pushes particles through electromagnetic fields on a
+grid.  The fingerprint: per-particle gather/scatter — a particle's
+position computes a *data-dependent* grid index, the field there is
+gathered, and charge is scattered back with a read-modify-write.  The
+indirect indices spray across field pages owned by different nodes.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from .common import checksum_slot, init_double_array, init_word_array, \
+    store_checksum_fp
+
+
+def build(scale: int = 1):
+    """One particle push over 1500*scale particles and a 4096-entry
+    field."""
+    particles = 1500 * scale
+    field_cells = 4096
+    b = ProgramBuilder("wave5")
+    px = b.alloc_global("px", particles * 8)     # positions (double)
+    pv = b.alloc_global("pv", particles * 8)     # velocities (double)
+    pidx = b.alloc_global("pidx", particles * 4)  # precomputed cell index
+    field = b.alloc_global("field", field_cells * 8)
+    charge = b.alloc_global("charge", field_cells * 8)
+    consts = b.alloc_global("consts", 16)
+    csum = checksum_slot(b)
+    init_double_array(b, px, particles, lambda i: float((i * 37) % 4096))
+    init_double_array(b, pv, particles, lambda i: 0.5 + (i % 13) * 0.0625)
+    init_word_array(b, pidx, particles,
+                    lambda i: ((i * 2654435761) >> 7) % (field_cells - 1))
+    init_double_array(b, field, field_cells, lambda i: 0.25 + (i % 31) * 0.03125)
+    init_double_array(b, charge, field_cells, lambda i: 0.0)
+    b.init_double(consts, 0.1)
+
+    b.li("r1", consts)
+    b.ld("f25", "r1", 0)  # dt
+
+    b.li("r10", px)
+    b.li("r11", pv)
+    b.li("r12", pidx)
+    with b.repeat(particles, "r20"):
+        b.lw("r13", "r12", 0)        # cell index (data dependent)
+        b.slli("r14", "r13", 3)
+        b.addi("r15", "r14", field)
+        b.ld("f1", "r15", 0)         # gather E-field at the cell
+        b.ld("f2", "r15", 8)         # and its neighbor
+        b.fadd("f1", "f1", "f2")
+        b.ld("f3", "r11", 0)         # v
+        b.fmul("f4", "f1", "f25")
+        b.fadd("f3", "f3", "f4")     # v += E * dt
+        b.sd("f3", "r11", 0)
+        b.ld("f5", "r10", 0)         # x
+        b.fmul("f6", "f3", "f25")
+        b.fadd("f5", "f5", "f6")     # x += v * dt
+        b.sd("f5", "r10", 0)
+        # Scatter charge: read-modify-write at the indirect cell.
+        b.addi("r16", "r14", charge)
+        b.ld("f7", "r16", 0)
+        b.fadd("f7", "f7", "f25")
+        b.sd("f7", "r16", 0)
+        b.addi("r10", "r10", 8)
+        b.addi("r11", "r11", 8)
+        b.addi("r12", "r12", 4)
+
+    b.li("r1", charge)
+    b.cvtif("f0", "r0")
+    with b.repeat(256, "r3"):
+        b.ld("f1", "r1", 0)
+        b.fadd("f0", "f0", "f1")
+        b.addi("r1", "r1", 8)
+    store_checksum_fp(b, csum, "f0")
+    b.halt()
+    return b.build()

@@ -1,0 +1,69 @@
+"""Tests for the run timeline sampler."""
+
+import pytest
+
+from repro.analysis.timeline import Timeline, TimelineRecorder, \
+    TimelineSample
+from repro.core import DataScalarSystem
+from repro.experiments import datascalar_config, timing_node_config
+from repro.workloads import build_program
+
+
+def _record(limit=4000, sample_every=100):
+    recorder = TimelineRecorder(sample_every=sample_every)
+    program = build_program("compress")
+    result = DataScalarSystem(
+        datascalar_config(2, node=timing_node_config())).run(
+        program, limit=limit, observer=recorder)
+    return recorder.timeline, result
+
+
+def test_recorder_samples_at_interval():
+    timeline, result = _record(sample_every=100)
+    cycles = timeline.cycles()
+    assert cycles
+    assert all(c % 100 == 0 for c in cycles)
+    assert cycles[-1] <= result.cycles
+
+
+def test_committed_series_is_monotone_per_node():
+    timeline, result = _record()
+    for node in (0, 1):
+        series = timeline.series("committed", node=node)
+        assert all(a <= b for a, b in zip(series, series[1:]))
+        assert series[-1] <= result.instructions
+
+
+def test_bus_transactions_series_monotone_and_final():
+    timeline, result = _record()
+    series = timeline.series("bus_transactions")
+    assert all(a <= b for a, b in zip(series, series[1:]))
+    assert series[-1] <= result.bus_transactions
+
+
+def test_commit_skew_nonnegative():
+    timeline, _ = _record()
+    assert all(skew >= 0 for skew in timeline.commit_skew())
+
+
+def test_per_node_series_requires_node_argument():
+    timeline, _ = _record(limit=1000)
+    with pytest.raises(ValueError):
+        timeline.series("committed")
+
+
+def test_to_csv_shape():
+    timeline, _ = _record(limit=1000)
+    text = timeline.to_csv()
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("cycle,committed_0,committed_1")
+    assert len(lines) == len(timeline.samples) + 1
+
+
+def test_empty_timeline_csv():
+    assert Timeline().to_csv() == ""
+
+
+def test_recorder_validation():
+    with pytest.raises(ValueError):
+        TimelineRecorder(sample_every=0)

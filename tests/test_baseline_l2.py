@@ -1,0 +1,115 @@
+"""Tests for the L2-organized traditional system (paper Section 4.3's
+dismissed alternative)."""
+
+import pytest
+
+from repro.baseline import L2System, TraditionalSystem
+from repro.baseline.l2 import L2Memory
+from repro.errors import ProtocolError
+from repro.experiments import timing_node_config, traditional_config
+from repro.interconnect import Bus, MessageKind
+from repro.isa import ProgramBuilder
+from repro.params import CacheConfig
+
+L2_CONFIG = CacheConfig(size_bytes=8 * 1024, assoc=4, line_size=32,
+                        write_policy="writeback", write_allocate=True)
+
+
+def _memory():
+    config = traditional_config(2, node=timing_node_config(
+        dcache_bytes=1024, icache_bytes=1024))
+    bus = Bus(config.bus)
+    return L2Memory(config, L2_CONFIG, bus), bus
+
+
+def test_cold_miss_goes_offchip():
+    memory, bus = _memory()
+    handle = memory.load_issue(0, 0x10000100, 4)
+    assert handle.ready is not None
+    assert memory.l2_misses == 1
+    assert memory.requests == 1
+    assert bus.stats.by_kind[MessageKind.REQUEST] == 1
+
+
+def test_l1_evicted_line_hits_l2():
+    memory, _ = _memory()
+    addr = 0x10000100
+    handle = memory.load_issue(0, addr, 4)
+    memory.commit_mem(50, addr, 4, is_store=False, handle=handle)
+    # Evict from the 1KB L1 with a conflicting line.
+    conflict = addr + 1024
+    handle2 = memory.load_issue(60, conflict, 4)
+    memory.commit_mem(120, conflict, 4, is_store=False, handle=handle2)
+    before = memory.requests
+    handle3 = memory.load_issue(130, addr, 4)
+    assert memory.l2_hits == 1
+    assert memory.requests == before  # served on-chip
+    # L2 hit is far cheaper than the off-chip round trip.
+    assert handle3.ready - 130 < handle.ready - 0
+
+
+def test_l2_hit_rate_property():
+    memory, _ = _memory()
+    memory.l2_hits = 3
+    memory.l2_misses = 1
+    result_rate = memory.l2_hits / (memory.l2_hits + memory.l2_misses)
+    assert result_rate == 0.75
+
+
+def test_dirty_l1_eviction_lands_in_l2():
+    memory, bus = _memory()
+    addr = 0x10000100
+    handle = memory.load_issue(0, addr, 4)
+    memory.commit_mem(50, addr, 4, is_store=False, handle=handle)
+    memory.commit_mem(60, addr, 4, is_store=True, handle=None)  # dirty it
+    conflict = addr + 1024
+    handle2 = memory.load_issue(70, conflict, 4)
+    memory.commit_mem(130, conflict, 4, is_store=False, handle=handle2)
+    # The dirty line went to the L2, not over the bus.
+    assert bus.stats.by_kind[MessageKind.WRITEBACK] == 0
+    memory.load_issue(140, addr, 4)
+    assert memory.l2_hits == 1
+
+
+def test_validate_catches_leaks():
+    memory, _ = _memory()
+    memory.load_issue(0, 0x10000100, 4)
+    with pytest.raises(ProtocolError):
+        memory.validate_final_state()
+
+
+def test_l2_system_end_to_end():
+    b = ProgramBuilder()
+    arr = b.alloc_global("arr", 8192)
+    with b.repeat(2, "r9"):  # two passes: the second enjoys L2 hits
+        b.li("r1", arr)
+        with b.repeat(2048, "r3"):
+            b.lw("r4", "r1", 0)
+            b.addi("r1", "r1", 4)
+    b.halt()
+    system = L2System(traditional_config(
+        2, node=timing_node_config(dcache_bytes=1024)), l2_config=L2_CONFIG)
+    result = system.run(b.build())
+    assert result.instructions > 0
+    assert result.l2_hits > 0
+    assert 0.0 < result.l2_hit_rate < 1.0
+    assert result.ipc > 0
+
+
+def test_l2_beats_plain_traditional_on_rereuse():
+    """Where the working set fits the L2 but not the on-chip fraction's
+    luck, the dismissed alternative *can* win — the ablation's point."""
+    b = ProgramBuilder()
+    arr = b.alloc_global("arr", 6144)  # 1.5 pages
+    with b.repeat(6, "r9"):
+        b.li("r1", arr)
+        with b.repeat(1536, "r3"):
+            b.lw("r4", "r1", 0)
+            b.addi("r1", "r1", 4)
+    b.halt()
+    program = b.build()
+    node = timing_node_config(dcache_bytes=1024)
+    config = traditional_config(4, node=node)
+    plain = TraditionalSystem(config).run(program)
+    l2 = L2System(config, l2_config=L2_CONFIG).run(program)
+    assert l2.ipc > plain.ipc

@@ -1,0 +1,124 @@
+"""Unit tests for the traditional system's memory paths."""
+
+import pytest
+
+from repro.baseline.traditional import TraditionalMemory
+from repro.interconnect import Bus, MessageKind
+from repro.memory import PageTable
+from repro.params import (
+    BusConfig,
+    CacheConfig,
+    MemoryConfig,
+    NodeConfig,
+    TraditionalConfig,
+)
+
+PAGE = 4096
+LINE = 32
+
+ONCHIP = 0x100          # page 0 -> owner 0 = on-chip
+OFFCHIP = PAGE + 0x100  # page 1 -> owner 1 = off-chip
+
+
+def _memory(write_allocate=False):
+    table = PageTable(PAGE, num_owners=2)
+    table.map_page(0, replicated=False, owner=0)
+    table.map_page(1, replicated=False, owner=1)
+    node = NodeConfig(
+        icache=CacheConfig(size_bytes=1024, assoc=1, line_size=LINE),
+        dcache=CacheConfig(size_bytes=1024, assoc=1, line_size=LINE,
+                           write_allocate=write_allocate),
+        memory=MemoryConfig(onchip_latency=8, offchip_latency=8,
+                            page_size=PAGE),
+    )
+    config = TraditionalConfig(node=node, onchip_fraction_denom=2)
+    bus = Bus(config.bus)
+    return TraditionalMemory(config, table, bus), bus
+
+
+def test_onchip_miss_never_uses_the_bus():
+    memory, bus = _memory()
+    handle = memory.load_issue(0, ONCHIP, 4)
+    assert handle.ready is not None
+    assert bus.stats.transactions == 0
+    assert memory.onchip_fills == 1
+
+
+def test_offchip_miss_pays_request_and_response():
+    memory, bus = _memory()
+    handle = memory.load_issue(0, OFFCHIP, 4)
+    assert handle.ready is not None
+    assert memory.requests == 1
+    assert bus.stats.by_kind[MessageKind.REQUEST] == 1
+    assert bus.stats.by_kind[MessageKind.RESPONSE] == 1
+
+
+def test_offchip_latency_exceeds_onchip():
+    memory, _ = _memory()
+    onchip = memory.load_issue(0, ONCHIP, 4)
+    offchip = memory.load_issue(0, OFFCHIP, 4)
+    assert offchip.ready > onchip.ready
+
+
+def test_inflight_line_merges_without_second_request():
+    memory, _ = _memory()
+    first = memory.load_issue(0, OFFCHIP, 4)
+    second = memory.load_issue(1, OFFCHIP + 4, 4)
+    assert memory.requests == 1
+    assert second.ready is not None
+
+
+def test_commit_fills_cache_for_later_hits():
+    memory, _ = _memory()
+    handle = memory.load_issue(0, OFFCHIP, 4)
+    memory.commit_mem(100, OFFCHIP, 4, is_store=False, handle=handle)
+    later = memory.load_issue(200, OFFCHIP, 4)
+    assert later.issue_hit is True
+
+
+def test_store_miss_writes_through_offchip():
+    memory, bus = _memory()
+    memory.commit_mem(0, OFFCHIP, 4, is_store=True, handle=None)
+    assert memory.writethroughs_offchip == 1
+    assert bus.stats.by_kind[MessageKind.WRITEBACK] == 1
+
+
+def test_store_miss_onchip_stays_local():
+    memory, bus = _memory()
+    memory.commit_mem(0, ONCHIP, 4, is_store=True, handle=None)
+    assert memory.writethroughs_offchip == 0
+    assert bus.stats.transactions == 0
+
+
+def test_dirty_offchip_eviction_generates_writeback():
+    memory, bus = _memory()
+    # Fill + dirty the off-chip line.
+    handle = memory.load_issue(0, OFFCHIP, 4)
+    memory.commit_mem(10, OFFCHIP, 4, is_store=False, handle=handle)
+    memory.commit_mem(20, OFFCHIP, 4, is_store=True, handle=None)
+    # Evict it with a conflicting line (1KB direct-mapped).
+    conflict = OFFCHIP + 1024
+    handle2 = memory.load_issue(30, conflict, 4)
+    memory.commit_mem(90, conflict, 4, is_store=False, handle=handle2)
+    assert memory.writebacks_offchip == 1
+
+
+def test_write_allocate_store_miss_fetches_line():
+    memory, _ = _memory(write_allocate=True)
+    memory.commit_mem(0, OFFCHIP, 4, is_store=True, handle=None)
+    assert memory.requests == 1  # the fetch-for-write went off-chip
+
+
+def test_ifetch_offchip_uses_bus():
+    memory, bus = _memory()
+    ready = memory.ifetch_line(0, PAGE + 0x40)
+    assert ready > 8
+    assert memory.requests == 1
+
+
+def test_validate_final_state_catches_leaked_dcub():
+    memory, _ = _memory()
+    memory.load_issue(0, OFFCHIP, 4)
+    from repro.errors import ProtocolError
+    with pytest.raises(ProtocolError):
+        memory.validate_final_state()

@@ -1,0 +1,85 @@
+"""Unit tests for datathread-length analysis."""
+
+from repro.core import DatathreadAnalyzer, analyze_stream
+from repro.memory import PageTable
+
+PAGE = 4096
+
+
+def _table():
+    """Pages 0,1 owned by node 0; 2,3 by node 1; page 4 replicated."""
+    table = PageTable(PAGE, num_owners=2)
+    table.map_page(0, replicated=False, owner=0)
+    table.map_page(1, replicated=False, owner=0)
+    table.map_page(2, replicated=False, owner=1)
+    table.map_page(3, replicated=False, owner=1)
+    table.map_page(4, replicated=True)
+    return table
+
+
+def _addr(page, offset=0):
+    return page * PAGE + offset
+
+
+def test_single_node_stream_is_one_long_thread():
+    refs = [_addr(0, i * 32) for i in range(10)]
+    report = analyze_stream(_table(), refs)
+    assert report.runs == 1
+    assert report.mean_length == 10
+
+
+def test_owner_change_splits_threads():
+    refs = [_addr(0), _addr(0, 32), _addr(2), _addr(2, 32), _addr(2, 64)]
+    report = analyze_stream(_table(), refs)
+    assert report.runs == 2
+    assert report.mean_length == 2.5
+
+
+def test_interleaved_arrays_cut_threads_to_one():
+    """c[i] = a[i] + b[i] with a and b at different owners (the paper's
+    explanation for short FP datathreads)."""
+    refs = []
+    for i in range(8):
+        refs.append(_addr(0, i * 8))  # a[i] at node 0
+        refs.append(_addr(2, i * 8))  # b[i] at node 1
+    report = analyze_stream(_table(), refs)
+    assert report.mean_length == 1.0
+
+
+def test_replicated_references_extend_current_thread():
+    refs = [_addr(0), _addr(4), _addr(4, 32), _addr(0, 32)]
+    report = analyze_stream(_table(), refs)
+    assert report.runs == 1
+    assert report.mean_length == 4
+
+
+def test_leading_replicated_refs_do_not_start_a_thread():
+    """The count begins at the first reference to communicated data."""
+    refs = [_addr(4), _addr(4, 32), _addr(0)]
+    report = analyze_stream(_table(), refs)
+    assert report.runs == 1
+    assert report.mean_length == 1
+
+
+def test_replicated_run_lengths_tracked_separately():
+    refs = [_addr(4), _addr(4, 32), _addr(0), _addr(4), _addr(0)]
+    report = analyze_stream(_table(), refs)
+    assert report.replicated_runs == 2
+    assert report.mean_replicated_length == 1.5
+
+
+def test_incremental_observe_equals_batch():
+    refs = [_addr(0), _addr(2), _addr(2), _addr(0), _addr(0), _addr(0)]
+    analyzer = DatathreadAnalyzer(_table())
+    for ref in refs:
+        analyzer.observe(ref)
+    incremental = analyzer.finish()
+    batch = analyze_stream(_table(), refs)
+    assert incremental == batch
+
+
+def test_empty_stream():
+    report = analyze_stream(_table(), [])
+    assert report.runs == 0
+    assert report.mean_length == 0.0
+    assert report.references == 0

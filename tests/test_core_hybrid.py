@@ -1,0 +1,118 @@
+"""Tests for hybrid SPSD/SPMD execution (paper Section 5.2)."""
+
+import pytest
+
+from repro.core import (
+    DataScalarSystem,
+    HybridSystem,
+    ParallelPhase,
+    SerialPhase,
+)
+from repro.errors import ConfigError
+from repro.isa import ProgramBuilder
+from repro.params import CacheConfig, MemoryConfig, NodeConfig, SystemConfig
+
+PAGE = 4096
+WORDS = 4096  # 16KB array
+
+
+def _node():
+    cache = CacheConfig(size_bytes=2048, assoc=1, line_size=32,
+                        write_allocate=False)
+    return NodeConfig(icache=CacheConfig(size_bytes=4096), dcache=cache,
+                      memory=MemoryConfig(page_size=PAGE))
+
+
+def _config(num_nodes=2):
+    return SystemConfig(num_nodes=num_nodes, node=_node(),
+                        distribution_block_pages=1)
+
+
+def _sum_program(words, start=0):
+    """Sum ``words`` array words starting at element ``start``."""
+    b = ProgramBuilder(f"sum-{start}")
+    arr = b.alloc_global("arr", WORDS * 4)
+    for i in range(start, start + words):
+        b.init_word(arr + 4 * i, i)
+    b.li("r1", arr + 4 * start)
+    b.li("r2", 0)
+    with b.repeat(words, "r3"):
+        b.lw("r4", "r1", 0)
+        b.add("r2", "r2", "r4")
+        b.addi("r1", "r1", 4)
+    b.halt()
+    return b.build()
+
+
+def test_serial_phase_equals_datascalar_run():
+    program = _sum_program(WORDS)
+    hybrid = HybridSystem(_config()).run([SerialPhase(program)])
+    direct = DataScalarSystem(_config()).run(program)
+    assert hybrid.phases[0].kind == "spsd"
+    assert hybrid.phases[0].cycles == direct.cycles
+    assert hybrid.barrier_cycles == 0
+
+
+def test_parallel_phase_takes_slowest_node():
+    short = _sum_program(WORDS // 4)
+    long = _sum_program(WORDS // 2)
+    hybrid = HybridSystem(_config()).run(
+        [ParallelPhase(programs=[short, long])])
+    phase = hybrid.phases[0]
+    assert phase.kind == "spmd"
+    assert len(phase.node_cycles) == 2
+    assert phase.cycles == max(phase.node_cycles)
+    assert phase.node_cycles[1] > phase.node_cycles[0]
+
+
+def test_parallel_split_beats_serial_spsd():
+    """The paper's §5.2 motivation: when the loop partitions cleanly,
+    running it SPMD on the same hardware beats redundant execution."""
+    whole = _sum_program(WORDS)
+    halves = [_sum_program(WORDS // 2, start=0),
+              _sum_program(WORDS // 2, start=WORDS // 2)]
+    serial = HybridSystem(_config()).run([SerialPhase(whole)])
+    parallel = HybridSystem(_config()).run(
+        [ParallelPhase(programs=halves, boundary_bytes=8)])
+    assert parallel.total_cycles < serial.total_cycles
+
+
+def test_barrier_cost_counted():
+    halves = [_sum_program(64), _sum_program(64)]
+    tiny = HybridSystem(_config()).run(
+        [ParallelPhase(programs=halves, boundary_bytes=8)])
+    bulky = HybridSystem(_config()).run(
+        [ParallelPhase(programs=halves, boundary_bytes=4096)])
+    assert bulky.barrier_cycles > tiny.barrier_cycles
+
+
+def test_mixed_schedule_accumulates_phases():
+    serial = _sum_program(256)
+    halves = [_sum_program(128), _sum_program(128, start=128)]
+    result = HybridSystem(_config()).run([
+        SerialPhase(serial),
+        ParallelPhase(programs=halves),
+        SerialPhase(serial),
+    ])
+    assert [p.kind for p in result.phases] == ["spsd", "spmd", "spsd"]
+    assert result.total_cycles == (sum(p.cycles for p in result.phases)
+                                   + result.barrier_cycles)
+    assert 0.0 < result.parallel_fraction < 1.0
+    assert result.total_instructions == sum(p.instructions
+                                            for p in result.phases)
+
+
+def test_wrong_program_count_rejected():
+    with pytest.raises(ConfigError):
+        HybridSystem(_config(2)).run(
+            [ParallelPhase(programs=[_sum_program(16)])])
+
+
+def test_empty_schedule_rejected():
+    with pytest.raises(ConfigError):
+        HybridSystem(_config()).run([])
+
+
+def test_unknown_phase_type_rejected():
+    with pytest.raises(ConfigError):
+        HybridSystem(_config()).run(["not a phase"])

@@ -1,0 +1,74 @@
+"""Tests for L2-level dynamic replication (footnote 4 alternative)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DataScalarSystem
+from repro.experiments import datascalar_config, timing_node_config
+from repro.params import CacheConfig
+from repro.workloads import build_program
+
+L2 = CacheConfig(size_bytes=32 * 1024, assoc=4, line_size=32,
+                 write_policy="writeback", write_allocate=True)
+
+
+def _config(num_nodes=2, l2=L2, dcache_bytes=2 * 1024):
+    base = datascalar_config(
+        num_nodes, node=timing_node_config(dcache_bytes=dcache_bytes))
+    return dataclasses.replace(base, l2=l2)
+
+
+def _rereference_program(words=3072, passes=3):
+    """Sweeps the same array repeatedly: L1-too-big, L2-sized reuse."""
+    from repro.isa import ProgramBuilder
+
+    b = ProgramBuilder("reuse")
+    arr = b.alloc_global("arr", words * 4)
+    with b.repeat(passes, "r9"):
+        b.li("r1", arr)
+        with b.repeat(words, "r3"):
+            b.lw("r4", "r1", 0)
+            b.addi("r1", "r1", 4)
+    b.halt()
+    return b.build()
+
+
+def test_l2_node_runs_clean_and_counts_hits():
+    result = DataScalarSystem(_config()).run(_rereference_program())
+    assert result.extra["l2_hits"] > 0
+    assert result.instructions > 0
+
+
+def test_l2_replication_cuts_broadcasts_on_reuse():
+    program = _rereference_program()
+    with_l2 = DataScalarSystem(_config()).run(program)
+    without = DataScalarSystem(_config(l2=None)).run(program)
+    b_with = sum(n.broadcasts_sent for n in with_l2.nodes)
+    b_without = sum(n.broadcasts_sent for n in without.nodes)
+    assert b_with < b_without
+    assert with_l2.ipc > without.ipc
+
+
+def test_l2_nodes_stay_correspondent_on_conflict_heavy_code():
+    """turb3d's power-of-two strides stress the protocol; the run must
+    complete with balanced ledgers (validated inside run())."""
+    program = build_program("turb3d")
+    result = DataScalarSystem(_config()).run(program, limit=10000)
+    assert result.instructions == 10000
+    total_false = sum(n.false_hits + n.false_misses for n in result.nodes)
+    assert total_false >= 0  # statistics exist; protocol validated
+
+
+def test_l2_first_touch_still_broadcasts():
+    """Cold lines are not in any L2: the owner must still broadcast."""
+    program = _rereference_program(passes=1)
+    result = DataScalarSystem(_config()).run(program)
+    assert sum(n.broadcasts_sent for n in result.nodes) > 0
+
+
+def test_four_node_l2_system():
+    program = _rereference_program()
+    result = DataScalarSystem(_config(num_nodes=4)).run(program)
+    assert len(result.nodes) == 4
+    assert result.extra["l2_hits"] > 0

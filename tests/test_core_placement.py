@@ -1,0 +1,108 @@
+"""Tests for datathread-aware page placement."""
+
+import pytest
+
+from repro.core import (
+    AffinityGraph,
+    analyze_stream,
+    plan_placement,
+    round_robin_placement,
+)
+from repro.errors import ConfigError
+
+PAGE = 4096
+
+
+def _stream(pages):
+    return [page * PAGE for page in pages]
+
+
+def _graph(pages):
+    graph = AffinityGraph(PAGE)
+    graph.observe_stream(_stream(pages))
+    return graph
+
+
+def test_affinity_graph_counts_transitions_and_heat():
+    graph = _graph([0, 1, 0, 1, 2])
+    assert graph.heat == {0: 2, 1: 2, 2: 1}
+    assert graph.edges[(0, 1)] == 3
+    assert graph.edges[(1, 2)] == 1
+
+
+def test_affinity_graph_ignores_self_transitions():
+    graph = _graph([0, 0, 0, 1])
+    assert (0, 0) not in graph.edges
+    assert graph.edges[(0, 1)] == 1
+
+
+def test_affinity_graph_validation():
+    with pytest.raises(ConfigError):
+        AffinityGraph(1000)
+
+
+def test_plan_groups_strongly_linked_pages():
+    # Pages {0,1} ping-pong; pages {2,3} ping-pong; the pairs are
+    # independent.  A good 2-node placement co-locates each pair.
+    pages = [0, 1] * 20 + [2, 3] * 20
+    plan = plan_placement(_graph(pages), num_nodes=2)
+    assert plan.owner_of_page[0] == plan.owner_of_page[1]
+    assert plan.owner_of_page[2] == plan.owner_of_page[3]
+    assert plan.owner_of_page[0] != plan.owner_of_page[2]
+    assert plan.cut_weight == 0 or plan.cut_weight < plan.internal_weight
+
+
+def test_plan_balances_bins():
+    pages = list(range(9)) * 3
+    plan = plan_placement(_graph(pages), num_nodes=3)
+    loads = [0, 0, 0]
+    for owner in plan.owner_of_page.values():
+        loads[owner] += 1
+    assert max(loads) - min(loads) <= 1
+
+
+def test_plan_beats_round_robin_on_cut_weight():
+    # A chain 0->1->2->...->7 repeatedly: round-robin with block 1 cuts
+    # every transition; affinity placement keeps runs together.
+    pages = list(range(8)) * 10
+    graph = _graph(pages)
+    smart = plan_placement(graph, num_nodes=2)
+    naive = round_robin_placement(graph, num_nodes=2, block_pages=1)
+    assert smart.cut_weight < naive.cut_weight
+
+
+def test_plan_lengthens_measured_datathreads():
+    pages = list(range(8)) * 10
+    graph = _graph(pages)
+    smart = plan_placement(graph, num_nodes=2)
+    naive = round_robin_placement(graph, num_nodes=2, block_pages=1)
+    smart_report = analyze_stream(smart.build_page_table(PAGE),
+                                  _stream(pages))
+    naive_report = analyze_stream(naive.build_page_table(PAGE),
+                                  _stream(pages))
+    assert smart_report.mean_length > naive_report.mean_length
+
+
+def test_excluded_pages_not_placed():
+    graph = _graph([0, 1, 2, 0, 1, 2])
+    plan = plan_placement(graph, num_nodes=2, exclude=frozenset({1}))
+    assert 1 not in plan.owner_of_page
+    table = plan.build_page_table(PAGE, replicated_pages=frozenset({1}))
+    assert table.is_replicated(1 * PAGE)
+
+
+def test_empty_graph():
+    plan = plan_placement(AffinityGraph(PAGE), num_nodes=4)
+    assert plan.owner_of_page == {}
+    assert plan.internal_weight == 0
+
+
+def test_single_node_places_everything_on_node_zero():
+    plan = plan_placement(_graph([0, 1, 2]), num_nodes=1)
+    assert set(plan.owner_of_page.values()) == {0}
+    assert plan.cut_weight == 0
+
+
+def test_num_nodes_validation():
+    with pytest.raises(ConfigError):
+        plan_placement(_graph([0, 1]), num_nodes=0)

@@ -1,0 +1,250 @@
+"""Unit tests for the out-of-order pipeline against a perfect memory."""
+
+import pytest
+
+from repro.baseline.perfect import PerfectMemory, PerfectSystem
+from repro.cpu.func_units import FUPool
+from repro.cpu.interface import LoadHandle
+from repro.cpu.lsq import LSQ
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.ruu import RUU
+from repro.errors import SimulationError
+from repro.isa import Interpreter, ProgramBuilder
+from repro.isa.opcodes import OpClass
+from repro.isa.trace import DynInstr
+from repro.params import CPUConfig
+
+
+def _pipeline(program, cpu=None, mem=None):
+    trace = Interpreter(program).trace()
+    return Pipeline(cpu or CPUConfig(), mem or PerfectMemory(), trace)
+
+
+def _linear_program(n_adds=32):
+    b = ProgramBuilder()
+    b.li("r1", 0)
+    for _ in range(n_adds):
+        b.addi("r1", "r1", 1)
+    b.halt()
+    return b.build()
+
+
+def _independent_program(n=32):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.li(f"r{1 + (i % 24)}", i)
+    b.halt()
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# RUU mechanics.
+# ----------------------------------------------------------------------
+def _dyn(seq, op_class=OpClass.IALU, dest=None, srcs=(), addr=None, size=0):
+    return DynInstr(seq, 0x400000 + 4 * seq, int(op_class), dest, srcs,
+                    addr, size)
+
+
+def test_ruu_dependency_wakeup():
+    ruu = RUU(capacity=8)
+    producer = ruu.dispatch(_dyn(0, dest=1), now=0)
+    consumer = ruu.dispatch(_dyn(1, srcs=(1,)), now=0)
+    assert consumer.unresolved == 1
+    assert [e.seq for e in ruu.schedulable(0)] == [0]
+    ruu.resolve(producer, result_time=5)
+    assert consumer.unresolved == 0
+    batch = ruu.schedulable(10)
+    assert [e.seq for e in batch] == [1]
+    assert consumer.operand_time == 5
+
+
+def test_ruu_known_producer_time_used_at_dispatch():
+    ruu = RUU(capacity=8)
+    producer = ruu.dispatch(_dyn(0, dest=1), now=0)
+    ruu.resolve(producer, result_time=7)
+    consumer = ruu.dispatch(_dyn(1, srcs=(1,)), now=1)
+    assert consumer.unresolved == 0
+    assert consumer.operand_time == 7
+
+
+def test_ruu_capacity():
+    ruu = RUU(capacity=2)
+    ruu.dispatch(_dyn(0), 0)
+    assert not ruu.is_full()
+    ruu.dispatch(_dyn(1), 0)
+    assert ruu.is_full()
+
+
+def test_ruu_schedulable_is_oldest_first():
+    ruu = RUU(capacity=8)
+    ruu.dispatch(_dyn(0), 0)
+    ruu.dispatch(_dyn(1), 0)
+    ruu.dispatch(_dyn(2), 0)
+    assert [e.seq for e in ruu.schedulable(0)] == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# LSQ mechanics.
+# ----------------------------------------------------------------------
+def _mem_entry(ruu, seq, op_class, addr, size=4):
+    return ruu.dispatch(_dyn(seq, op_class=op_class, addr=addr, size=size), 0)
+
+
+def test_lsq_forwarding_from_issued_store():
+    ruu, lsq = RUU(64), LSQ(16)
+    store = _mem_entry(ruu, 0, OpClass.STORE, 0x100)
+    lsq.insert(store)
+    store.issued = True
+    store.issued_at = 3
+    load = _mem_entry(ruu, 1, OpClass.LOAD, 0x100)
+    lsq.insert(load)
+    found, resolved = lsq.forwarding_store(load)
+    assert found is store and resolved
+    assert lsq.forwards == 1
+
+
+def test_lsq_blocks_on_unissued_same_address_store():
+    ruu, lsq = RUU(64), LSQ(16)
+    store = _mem_entry(ruu, 0, OpClass.STORE, 0x100)
+    lsq.insert(store)
+    load = _mem_entry(ruu, 1, OpClass.LOAD, 0x100)
+    lsq.insert(load)
+    found, resolved = lsq.forwarding_store(load)
+    assert found is store and not resolved
+
+
+def test_lsq_different_address_does_not_forward():
+    ruu, lsq = RUU(64), LSQ(16)
+    store = _mem_entry(ruu, 0, OpClass.STORE, 0x200)
+    lsq.insert(store)
+    load = _mem_entry(ruu, 1, OpClass.LOAD, 0x100)
+    lsq.insert(load)
+    found, _ = lsq.forwarding_store(load)
+    assert found is None
+
+
+def test_lsq_partial_overlap_detected():
+    ruu, lsq = RUU(64), LSQ(16)
+    store = _mem_entry(ruu, 0, OpClass.STORE, 0x100, size=8)
+    lsq.insert(store)
+    store.issued = True
+    load = _mem_entry(ruu, 1, OpClass.LOAD, 0x104, size=4)
+    lsq.insert(load)
+    found, _ = lsq.forwarding_store(load)
+    assert found is store
+
+
+def test_lsq_release_out_of_order_rejected():
+    ruu, lsq = RUU(64), LSQ(16)
+    a = _mem_entry(ruu, 0, OpClass.STORE, 0x100)
+    b = _mem_entry(ruu, 1, OpClass.LOAD, 0x200)
+    lsq.insert(a)
+    lsq.insert(b)
+    with pytest.raises(SimulationError):
+        lsq.release_head(b)
+
+
+# ----------------------------------------------------------------------
+# FU pool.
+# ----------------------------------------------------------------------
+def test_fu_pool_limits_per_cycle_and_resets():
+    pool = FUPool(CPUConfig())
+    fmult = int(OpClass.FMULT)
+    assert pool.try_claim(0, fmult)
+    assert pool.try_claim(0, fmult)
+    assert not pool.try_claim(0, fmult)  # only 2 FMULT units
+    assert pool.try_claim(1, fmult)  # fresh cycle
+
+
+def test_fu_pool_latencies_match_config():
+    cfg = CPUConfig()
+    pool = FUPool(cfg)
+    assert pool.latency(int(OpClass.IALU)) == 1
+    assert pool.latency(int(OpClass.FDIV)) == cfg.fu_latencies["FDIV"]
+    assert pool.latency(int(OpClass.LOAD)) == cfg.fu_latencies["AGEN"]
+
+
+# ----------------------------------------------------------------------
+# Whole-pipeline behaviour.
+# ----------------------------------------------------------------------
+def test_serial_chain_commits_in_order_with_low_ipc():
+    pipeline = _pipeline(_linear_program(64))
+    stats = pipeline.run(max_cycles=100_000)
+    assert stats.committed == 66  # li + 64 addi + halt
+    # A fully serial chain cannot exceed 1 IPC by much.
+    assert stats.ipc <= 1.5
+
+
+def test_independent_instructions_reach_high_ipc():
+    stats = _pipeline(_independent_program(256)).run(100_000)
+    serial = _pipeline(_linear_program(256)).run(100_000)
+    assert stats.ipc > 2.0
+    assert stats.ipc > serial.ipc
+
+
+def test_issue_width_bounds_ipc():
+    narrow = CPUConfig(fetch_width=1, issue_width=1, commit_width=1,
+                       ruu_entries=32, lsq_entries=16)
+    stats = _pipeline(_independent_program(128), cpu=narrow).run(100_000)
+    assert stats.ipc <= 1.0
+
+
+def test_load_dependent_chain_waits_for_memory():
+    class Slow(PerfectMemory):
+        def load_issue(self, now, addr, size):
+            handle = LoadHandle(addr, size, now)
+            handle.complete(now + 50)
+            return handle
+
+    b = ProgramBuilder()
+    base = b.alloc_global_words("p", 4, init=[0, 0, 0, 0])
+    b.li("r1", base)
+    b.lw("r2", "r1", 0)
+    b.add("r3", "r2", "r1")
+    b.halt()
+    stats = Pipeline(CPUConfig(), Slow(),
+                     Interpreter(b.build()).trace()).run(100_000)
+    assert stats.cycles >= 50
+
+
+def test_store_then_load_forwards_quickly():
+    b = ProgramBuilder()
+    base = b.alloc_global_words("x", 2)
+    b.li("r1", base)
+    b.li("r2", 42)
+    b.sw("r2", "r1", 0)
+    b.lw("r3", "r1", 0)
+    b.halt()
+
+    class NeverLoad(PerfectMemory):
+        def load_issue(self, now, addr, size):
+            raise AssertionError("load should have been forwarded")
+
+    stats = Pipeline(CPUConfig(), NeverLoad(),
+                     Interpreter(b.build()).trace()).run(100_000)
+    assert stats.loads == 1
+
+
+def test_pipeline_counts_loads_and_stores():
+    b = ProgramBuilder()
+    base = b.alloc_global_words("x", 8)
+    b.li("r1", base)
+    b.sw("r1", "r1", 0)
+    b.lw("r2", "r1", 4)
+    b.lw("r3", "r1", 0)
+    b.halt()
+    stats = _pipeline(b.build()).run(100_000)
+    assert stats.stores == 1
+    assert stats.loads == 2
+
+
+def test_run_raises_if_out_of_cycles():
+    with pytest.raises(SimulationError):
+        _pipeline(_linear_program(64)).run(max_cycles=3)
+
+
+def test_perfect_system_end_to_end():
+    system = PerfectSystem()
+    stats = system.run(_independent_program(64))
+    assert stats.committed == 65
+    assert 0 < stats.ipc <= system.cpu_config.issue_width

@@ -1,0 +1,212 @@
+"""Integration tests for the experiment drivers.
+
+These use small instruction limits — full-scale regeneration lives in
+benchmarks/.  Each test checks the *shape* properties DESIGN.md commits
+to for the corresponding table or figure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PARAMETERS,
+    datascalar_crossings,
+    format_figure1,
+    format_figure3,
+    format_figure7,
+    format_figure8,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_benchmark,
+    run_figure1,
+    run_figure3,
+    run_panel,
+    run_table1,
+    run_table2,
+    run_table3,
+    traditional_crossings,
+)
+
+FAST = dict(limit=6000)
+QUICK_BENCHMARKS = ["compress", "go"]
+
+
+# ----------------------------------------------------------------------
+# Table 1.
+# ----------------------------------------------------------------------
+def test_table1_shape():
+    rows = run_table1(benchmarks=QUICK_BENCHMARKS + ["tomcatv"], limit=50000)
+    assert len(rows) == 3
+    for row in rows:
+        # ESP always removes at least the request half of transactions.
+        assert row.transactions_eliminated >= 0.5
+        assert 0.0 <= row.bytes_eliminated < 1.0
+        assert row.misses > 0
+
+
+def test_table1_store_heavy_codes_eliminate_more():
+    rows = {r.benchmark: r for r in
+            run_table1(benchmarks=["compress", "fpppp"], limit=50000)}
+    assert (rows["compress"].bytes_eliminated
+            > rows["fpppp"].bytes_eliminated)
+
+
+def test_table1_formatting():
+    text = format_table1(run_table1(benchmarks=["go"], limit=20000))
+    assert "Table 1" in text and "go" in text and "%" in text
+
+
+# ----------------------------------------------------------------------
+# Table 2.
+# ----------------------------------------------------------------------
+def test_table2_shape():
+    rows = run_table2(benchmarks=["swim", "li", "fpppp"], limit=80000)
+    by_name = {r.benchmark: r for r in rows}
+    # The interleaved-grid FP code has short data threads.
+    assert by_name["swim"].thread_data < 10
+    # fpppp's replicated text yields very long text threads.
+    assert by_name["fpppp"].thread_text > by_name["swim"].thread_text
+    for row in rows:
+        assert row.distribution_kb >= 1
+        total_replicated = (row.replicated_text + row.replicated_global
+                            + row.replicated_heap + row.replicated_stack)
+        assert total_replicated >= 1
+
+
+def test_table2_formatting():
+    text = format_table2(run_table2(benchmarks=["go"], limit=20000))
+    assert "Table 2" in text and "thread(all)" in text
+
+
+# ----------------------------------------------------------------------
+# Table 3.
+# ----------------------------------------------------------------------
+def test_table3_shape():
+    rows = run_table3(benchmarks=QUICK_BENCHMARKS, **FAST)
+    for row in rows:
+        assert 0.0 <= row.late_broadcasts <= 1.0
+        assert 0.0 <= row.bshr_squashes <= 1.0
+        assert 0.0 <= row.found_in_bshr <= 1.0
+        assert row.total_broadcasts > 0
+
+
+def test_table3_formatting():
+    text = format_table3(run_table3(benchmarks=["go"], **FAST))
+    assert "Table 3" in text and "late broadcasts" in text
+
+
+# ----------------------------------------------------------------------
+# Figure 1.
+# ----------------------------------------------------------------------
+def test_figure1_matches_paper_exactly():
+    result = run_figure1()
+    assert result.paper_schedule.receive_times == [1, 2, 3, 4, 7, 8, 9, 12, 13]
+    assert result.paper_schedule.lead_changes == 2
+    assert result.lead_change_cost == 4  # two lead changes, 2 extra each
+
+
+def test_figure1_formatting():
+    text = format_figure1(run_figure1())
+    assert "w5" in text and "7" in text
+
+
+# ----------------------------------------------------------------------
+# Figure 3.
+# ----------------------------------------------------------------------
+def test_figure3_analytic_counts_match_paper():
+    chain = [0, 0, 0, 1]
+    assert datascalar_crossings(chain) == 2
+    assert traditional_crossings(chain, local_node=None) == 8
+
+
+def test_figure3_timing_advantage():
+    result = run_figure3(hops=48)
+    assert result.datascalar_cycles < result.traditional_cycles
+    assert result.crossing_ratio == 4.0
+
+
+def test_figure3_crossings_edge_cases():
+    assert datascalar_crossings([]) == 0
+    assert datascalar_crossings([0]) == 1
+    assert traditional_crossings([0, 1], local_node=0) == 2
+
+
+def test_figure3_formatting():
+    text = format_figure3(run_figure3(hops=24))
+    assert "2 vs 8" in text
+
+
+# ----------------------------------------------------------------------
+# Figure 7.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def figure7_compress():
+    return run_benchmark("compress", limit=8000)
+
+
+def test_figure7_perfect_cache_is_upper_bound(figure7_compress):
+    row = figure7_compress
+    for ipc in (row.datascalar2_ipc, row.datascalar4_ipc,
+                row.traditional_half_ipc, row.traditional_quarter_ipc):
+        assert row.perfect_ipc >= ipc
+
+
+def test_figure7_compress_wins_for_datascalar(figure7_compress):
+    """The paper's headline: store-elimination makes compress the big
+    DataScalar win."""
+    row = figure7_compress
+    assert row.speedup_2 > 1.0
+    assert row.speedup_4 > row.speedup_2
+
+
+def test_figure7_datascalar_insensitive_to_node_count(figure7_compress):
+    row = figure7_compress
+    drop_ds = row.datascalar2_ipc - row.datascalar4_ipc
+    drop_trad = row.traditional_half_ipc - row.traditional_quarter_ipc
+    assert drop_ds <= drop_trad + 0.05
+
+
+def test_figure7_formatting(figure7_compress):
+    text = format_figure7([figure7_compress])
+    assert "Figure 7" in text and "compress" in text and "x" in text
+
+
+# ----------------------------------------------------------------------
+# Figure 8.
+# ----------------------------------------------------------------------
+def test_figure8_datascalar_wins_across_bus_sweep():
+    """Paper: 'the DataScalar runs consistently outperform the
+    traditional runs over a wide range of parameters' — at four nodes
+    the win holds at every bus speed (see EXPERIMENTS.md for the
+    two-node tag-overhead discussion)."""
+    panel = run_panel("compress", "bus_clock", values=[2, 8, 16],
+                      limit=5000)
+    for point in panel.points:
+        assert (point.datascalar4_ipc
+                > point.traditional_quarter_ipc * 1.15), point.value
+
+
+def test_figure8_memory_latency_sweep_converges():
+    """Systems converge as bank time dominates (DataScalar reduces the
+    overhead of transmitting the data, not accessing them)."""
+    panel = run_panel("go", "memory_latency", values=[4, 64], limit=8000)
+    fast, slow = panel.points
+    gap_fast = fast.datascalar2_ipc / fast.traditional_half_ipc
+    gap_slow = slow.datascalar2_ipc / slow.traditional_half_ipc
+    assert abs(gap_slow - 1.0) < abs(gap_fast - 1.0)
+
+
+def test_figure8_unknown_parameter_rejected():
+    with pytest.raises(ValueError):
+        run_panel("go", "voltage", values=[1])
+
+
+def test_figure8_parameter_grid_is_complete():
+    assert set(PARAMETERS) == {"cache_size", "memory_latency", "bus_clock",
+                               "bus_width", "ruu_entries"}
+
+
+def test_figure8_formatting():
+    panel = run_panel("go", "cache_size", values=[4096], limit=3000)
+    text = format_figure8([panel])
+    assert "Figure 8" in text and "cache_size" in text

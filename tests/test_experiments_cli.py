@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, build_parser, main, \
+    run_one
+
+
+def test_every_experiment_registered():
+    assert set(EXPERIMENTS) == {
+        "figure1", "figure3", "figure7", "figure8",
+        "table1", "table2", "table3", "scaling",
+    }
+
+
+def test_parser_accepts_all_and_list():
+    parser = build_parser()
+    assert parser.parse_args(["all"]).experiment == "all"
+    assert parser.parse_args(["list"]).experiment == "list"
+    args = parser.parse_args(["table1", "--limit", "500"])
+    assert args.limit == 500
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure99"])
+
+
+def test_run_one_figure1():
+    text = run_one("figure1", limit=None)
+    assert "Figure 1" in text
+
+
+def test_run_one_table1_with_csv(tmp_path):
+    csv_path = tmp_path / "t1.csv"
+    text = run_one("table1", limit=5000, csv_path=str(csv_path))
+    assert "Table 1" in text
+    assert csv_path.read_text().startswith("benchmark")
+
+
+def test_csv_rejected_for_non_row_experiments(tmp_path):
+    with pytest.raises(SystemExit):
+        run_one("figure1", limit=None, csv_path=str(tmp_path / "x.csv"))
+
+
+def test_main_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "figure7" in out
+
+
+def test_main_single_experiment(capsys):
+    assert main(["figure1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out

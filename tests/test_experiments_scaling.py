@@ -1,0 +1,35 @@
+"""Tests for the node-count scaling experiment."""
+
+from repro.experiments import format_scaling, run_scaling
+
+
+def test_datascalar_traffic_constant_in_node_count():
+    """ESP's core property: each missed line crosses the interconnect
+    once, regardless of how many nodes share the program."""
+    points = run_scaling("compress", node_counts=(2, 4, 8), limit=5000)
+    broadcasts = [p.broadcasts for p in points]
+    assert broadcasts[0] == broadcasts[1] == broadcasts[2]
+
+
+def test_datascalar_advantage_grows_with_nodes():
+    points = run_scaling("compress", node_counts=(2, 8), limit=5000)
+    assert points[1].speedup > points[0].speedup
+
+
+def test_traditional_degrades_with_nodes():
+    points = run_scaling("compress", node_counts=(2, 4, 8), limit=5000)
+    trad = [p.traditional_ipc for p in points]
+    assert trad[0] >= trad[1] >= trad[2]
+
+
+def test_single_node_has_no_broadcasts():
+    (point,) = run_scaling("compress", node_counts=(1,), limit=4000)
+    assert point.broadcasts == 0
+    assert point.bus_utilization == 0.0
+
+
+def test_format_scaling():
+    points = run_scaling("go", node_counts=(1, 2), limit=3000)
+    text = format_scaling(points)
+    assert "Scaling with node count (go)" in text
+    assert "DS/trad" in text

@@ -1,0 +1,152 @@
+"""Unit tests for the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import assemble
+from repro.isa.interpreter import Interpreter
+
+
+def _run(text):
+    interp = Interpreter(assemble(text))
+    interp.run()
+    return interp
+
+
+def test_simple_arithmetic_program():
+    interp = _run(
+        """
+        li   r1, 6
+        li   r2, 7
+        mul  r3, r1, r2
+        halt
+        """
+    )
+    assert interp.registers[3] == 42
+
+
+def test_labels_and_branches():
+    interp = _run(
+        """
+        li r1, 0
+        li r2, 10
+        loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+        """
+    )
+    assert interp.registers[1] == 10
+
+
+def test_comments_and_blank_lines_ignored():
+    interp = _run(
+        """
+        ; leading comment
+        li r1, 5   # trailing comment
+
+        halt
+        """
+    )
+    assert interp.registers[1] == 5
+
+
+def test_alloc_and_word_directives():
+    interp = _run(
+        """
+        .alloc buf 16
+        .word  buf+4 99
+        li r1, buf
+        lw r2, r1, 4
+        halt
+        """
+    )
+    assert interp.registers[2] == 99
+
+
+def test_double_directive_and_fp():
+    interp = _run(
+        """
+        .alloc d 16
+        .double d 1.5
+        .double d+8 2.0
+        li r1, d
+        ld f1, r1, 0
+        ld f2, r1, 8
+        fmul f3, f1, f2
+        halt
+        """
+    )
+    assert interp.registers[32 + 3] == 3.0
+
+
+def test_allocation_name_as_immediate():
+    interp = _run(
+        """
+        .alloc tbl 8 heap
+        li r1, tbl
+        addi r2, r1, 0
+        halt
+        """
+    )
+    assert interp.registers[1] == interp.registers[2]
+    assert interp.registers[1] >= 0x4000_0000  # heap segment
+
+
+def test_memory_operand_default_offset():
+    interp = _run(
+        """
+        .alloc buf 8
+        li r1, buf
+        li r2, 77
+        sw r2, r1
+        lw r3, r1
+        halt
+        """
+    )
+    assert interp.registers[3] == 77
+
+
+def test_jal_jr_roundtrip():
+    interp = _run(
+        """
+        li r1, 2
+        jal fn
+        halt
+        fn:
+        add r1, r1, r1
+        jr r31
+        """
+    )
+    assert interp.registers[1] == 4
+
+
+def test_hex_immediates():
+    interp = _run(
+        """
+        li r1, 0x10
+        halt
+        """
+    )
+    assert interp.registers[1] == 16
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("li r1, 1\nli r2, 2\nfrobnicate r1\nhalt\n")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "add r1, r2\nhalt",  # wrong operand count
+        "lw r1\nhalt",  # missing base register
+        ".alloc\nhalt",  # malformed directive
+        ".word nope 3\nhalt",  # unknown allocation
+        "li r1, banana\nhalt",  # unresolvable immediate
+        ".frob x\nhalt",  # unknown directive
+    ],
+)
+def test_malformed_lines_rejected(bad):
+    with pytest.raises(AssemblyError):
+        assemble(bad)

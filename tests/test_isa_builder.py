@@ -1,0 +1,167 @@
+"""Unit tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Opcode, ProgramBuilder
+from repro.isa.interpreter import Interpreter
+from repro.memory.address import GLOBAL_BASE, HEAP_BASE
+
+
+def _run(builder):
+    interp = Interpreter(builder.build())
+    interp.run()
+    return interp
+
+
+def test_alloc_global_returns_distinct_aligned_addresses():
+    b = ProgramBuilder()
+    a1 = b.alloc_global("a", 12)
+    a2 = b.alloc_global("b", 4)
+    assert a1 >= GLOBAL_BASE
+    assert a2 >= a1 + 12
+    assert a1 % 8 == 0 and a2 % 8 == 0
+
+
+def test_alloc_heap_lives_in_heap_segment():
+    b = ProgramBuilder()
+    addr = b.alloc_heap("h", 64)
+    assert addr >= HEAP_BASE
+
+
+def test_duplicate_allocation_name_rejected():
+    b = ProgramBuilder()
+    b.alloc_global("x", 4)
+    with pytest.raises(AssemblyError):
+        b.alloc_global("x", 4)
+
+
+def test_address_of_unknown_name_rejected():
+    with pytest.raises(AssemblyError):
+        ProgramBuilder().address_of("nope")
+
+
+def test_alloc_global_words_with_init():
+    b = ProgramBuilder()
+    base = b.alloc_global_words("arr", 4, init=[10, 20, 30, 40])
+    b.li("r1", base)
+    b.lw("r2", "r1", 8)
+    b.halt()
+    interp = _run(b)
+    assert interp.registers[2] == 30
+
+
+def test_initializer_too_long_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(AssemblyError):
+        b.alloc_global_words("arr", 2, init=[1, 2, 3])
+
+
+def test_repeat_loop_runs_exact_count():
+    b = ProgramBuilder()
+    b.li("r1", 0)
+    with b.repeat(7, "r2"):
+        b.addi("r1", "r1", 1)
+    b.halt()
+    assert _run(b).registers[1] == 7
+
+
+def test_while_cond_loop():
+    b = ProgramBuilder()
+    b.li("r1", 0)
+    b.li("r2", 5)
+    with b.while_cond("lt", "r1", "r2"):
+        b.addi("r1", "r1", 1)
+    b.halt()
+    assert _run(b).registers[1] == 5
+
+
+def test_while_cond_zero_iterations():
+    b = ProgramBuilder()
+    b.li("r1", 9)
+    b.li("r2", 3)
+    b.li("r3", 0)
+    with b.while_cond("lt", "r1", "r2"):
+        b.addi("r3", "r3", 1)
+    b.halt()
+    assert _run(b).registers[3] == 0
+
+
+def test_if_cond_taken_and_not_taken():
+    b = ProgramBuilder()
+    b.li("r1", 1)
+    b.li("r2", 2)
+    b.li("r3", 0)
+    b.li("r4", 0)
+    with b.if_cond("lt", "r1", "r2"):
+        b.li("r3", 111)
+    with b.if_cond("gt", "r1", "r2"):
+        b.li("r4", 222)
+    b.halt()
+    interp = _run(b)
+    assert interp.registers[3] == 111
+    assert interp.registers[4] == 0
+
+
+def test_call_and_ret():
+    b = ProgramBuilder()
+    b.li("r1", 5)
+    b.call("double")
+    b.halt()
+    b.label("double")
+    b.add("r1", "r1", "r1")
+    b.ret()
+    assert _run(b).registers[1] == 10
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(AssemblyError):
+        b.label("x")
+
+
+def test_undefined_branch_target_rejected_at_build():
+    b = ProgramBuilder()
+    b.beq("r1", "r2", "missing")
+    b.halt()
+    with pytest.raises(AssemblyError):
+        b.build()
+
+
+def test_program_without_halt_rejected():
+    b = ProgramBuilder()
+    b.nop()
+    with pytest.raises(AssemblyError):
+        b.build()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblyError):
+        ProgramBuilder().build()
+
+
+def test_unknown_loop_condition_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(AssemblyError):
+        with b.while_cond("spaceship", "r1", "r2"):
+            pass
+
+
+def test_fresh_labels_are_unique():
+    b = ProgramBuilder()
+    labels = {b.fresh_label() for _ in range(100)}
+    assert len(labels) == 100
+
+
+def test_build_emits_expected_opcodes():
+    b = ProgramBuilder()
+    b.li("r1", 1)
+    b.add("r2", "r1", "r1")
+    b.halt()
+    program = b.build()
+    assert [i.op for i in program.instructions] == [
+        Opcode.LI,
+        Opcode.ADD,
+        Opcode.HALT,
+    ]

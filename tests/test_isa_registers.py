@@ -1,0 +1,43 @@
+"""Unit tests for register naming and encoding."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import registers
+
+
+def test_integer_register_encoding_roundtrip():
+    for n in range(32):
+        assert registers.encode(f"r{n}") == n
+        assert registers.decode(n) == f"r{n}"
+
+
+def test_fp_register_encoding_roundtrip():
+    for n in range(32):
+        encoded = registers.encode(f"f{n}")
+        assert encoded == registers.FP_BASE + n
+        assert registers.decode(encoded) == f"f{n}"
+
+
+def test_is_fp_distinguishes_banks():
+    assert not registers.is_fp(registers.encode("r5"))
+    assert registers.is_fp(registers.encode("f5"))
+
+
+def test_conventional_registers():
+    assert registers.ZERO == 0
+    assert registers.encode("r29") == registers.SP
+    assert registers.encode("r31") == registers.RA
+
+
+@pytest.mark.parametrize("bad", ["", "x3", "r32", "f32", "r-1", "rr", "f"])
+def test_bad_register_names_rejected(bad):
+    with pytest.raises(AssemblyError):
+        registers.encode(bad)
+
+
+def test_bad_encoding_rejected():
+    with pytest.raises(AssemblyError):
+        registers.decode(64)
+    with pytest.raises(AssemblyError):
+        registers.decode(-1)

@@ -1,0 +1,105 @@
+"""Unit tests for MSHRs and banked main memory."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import BankedMemory, MSHRFile
+
+
+def test_mshr_allocate_and_retire():
+    mshrs = MSHRFile()
+    entry = mshrs.allocate(0x100, issued_at=5, target="load-1")
+    assert mshrs.lookup(0x100) is entry
+    assert mshrs.outstanding() == 1
+    retired = mshrs.retire(0x100)
+    assert retired.targets == ["load-1"]
+    assert mshrs.outstanding() == 0
+
+
+def test_mshr_merge_secondary_miss():
+    mshrs = MSHRFile()
+    mshrs.allocate(0x100, issued_at=0, target="a")
+    mshrs.merge(0x100, "b")
+    assert mshrs.retire(0x100).targets == ["a", "b"]
+    assert mshrs.merges == 1
+
+
+def test_mshr_double_allocate_rejected():
+    mshrs = MSHRFile()
+    mshrs.allocate(0x100, issued_at=0)
+    with pytest.raises(MemoryError_):
+        mshrs.allocate(0x100, issued_at=1)
+
+
+def test_mshr_merge_unknown_line_rejected():
+    with pytest.raises(MemoryError_):
+        MSHRFile().merge(0x100, "x")
+
+
+def test_mshr_retire_unknown_line_rejected():
+    with pytest.raises(MemoryError_):
+        MSHRFile().retire(0x100)
+
+
+def test_mshr_capacity_enforced():
+    mshrs = MSHRFile(capacity=1)
+    mshrs.allocate(0x100, issued_at=0)
+    assert mshrs.is_full()
+    with pytest.raises(MemoryError_):
+        mshrs.allocate(0x200, issued_at=0)
+
+
+def test_mshr_capacity_validation():
+    with pytest.raises(MemoryError_):
+        MSHRFile(capacity=0)
+
+
+def test_banked_memory_basic_latency():
+    mem = BankedMemory(latency=8, num_banks=4, interleave_bytes=32)
+    assert mem.access(now=10, addr=0x0) == 18
+
+
+def test_banked_memory_same_bank_serializes():
+    mem = BankedMemory(latency=8, num_banks=4, interleave_bytes=32)
+    first = mem.access(0, 0x0)
+    second = mem.access(0, 0x0)  # same bank, queued behind first
+    assert first == 8
+    assert second == 16
+    assert mem.total_wait == 8
+
+
+def test_banked_memory_different_banks_parallel():
+    mem = BankedMemory(latency=8, num_banks=4, interleave_bytes=32)
+    a = mem.access(0, 0x0)
+    b = mem.access(0, 0x20)  # next line -> next bank
+    assert a == 8 and b == 8
+
+
+def test_banked_memory_bank_mapping_wraps():
+    mem = BankedMemory(latency=8, num_banks=4, interleave_bytes=32)
+    assert mem.bank_of(0x0) == mem.bank_of(4 * 32)
+
+
+def test_banked_memory_peek_does_not_reserve():
+    mem = BankedMemory(latency=8, num_banks=2, interleave_bytes=32)
+    assert mem.peek(0, 0x0) == 8
+    assert mem.peek(0, 0x0) == 8
+    assert mem.accesses == 0
+
+
+def test_banked_memory_reset():
+    mem = BankedMemory(latency=8, num_banks=2, interleave_bytes=32)
+    mem.access(0, 0x0)
+    mem.reset()
+    assert mem.access(0, 0x0) == 8
+    assert mem.accesses == 1
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"latency": 0},
+    {"latency": 8, "num_banks": 0},
+    {"latency": 8, "interleave_bytes": 0},
+])
+def test_banked_memory_validation(kwargs):
+    with pytest.raises(MemoryError_):
+        BankedMemory(**kwargs)

@@ -1,0 +1,82 @@
+"""Tests for the TLB and its integration into the timing systems."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DataScalarSystem
+from repro.errors import ConfigError
+from repro.experiments import datascalar_config, timing_node_config
+from repro.memory import BankedMemory
+from repro.memory.tlb import TLB
+from repro.workloads import build_program
+
+PAGE = 4096
+
+
+def test_tlb_hit_is_free_miss_costs_walk():
+    tlb = TLB(entries=4, walk_latency=10)
+    first = tlb.access(100, 0x1000, PAGE)
+    assert first == 110  # cold miss
+    second = tlb.access(200, 0x1FFC, PAGE)  # same page
+    assert second == 200
+    assert tlb.stats.hits == 1
+    assert tlb.stats.misses == 1
+
+
+def test_tlb_lru_eviction():
+    tlb = TLB(entries=2, walk_latency=5)
+    tlb.access(0, 0 * PAGE, PAGE)
+    tlb.access(1, 1 * PAGE, PAGE)
+    tlb.access(2, 0 * PAGE, PAGE)  # refresh page 0 -> page 1 is LRU
+    tlb.access(3, 2 * PAGE, PAGE)  # evicts page 1
+    assert 1 * PAGE // PAGE not in tlb.resident_pages()
+    assert {0, 2} <= tlb.resident_pages()
+
+
+def test_tlb_walker_uses_locked_table_memory():
+    walker = BankedMemory(latency=8, num_banks=2, interleave_bytes=32)
+    tlb = TLB(entries=4, walker=walker)
+    done = tlb.access(0, 0x5000, PAGE)
+    assert done == 8  # one page-table reference
+    assert walker.accesses == 1
+
+
+def test_tlb_flush():
+    tlb = TLB(entries=4, walk_latency=1)
+    tlb.access(0, 0x1000, PAGE)
+    tlb.flush()
+    tlb.access(1, 0x1000, PAGE)
+    assert tlb.stats.misses == 2
+
+
+def test_tlb_validation():
+    with pytest.raises(ConfigError):
+        TLB(entries=0)
+    with pytest.raises(ConfigError):
+        TLB(entries=4, walk_latency=-1)
+
+
+def test_tlb_miss_rate():
+    tlb = TLB(entries=8, walk_latency=1)
+    assert tlb.stats.miss_rate == 0.0
+    tlb.access(0, 0x1000, PAGE)
+    tlb.access(1, 0x1000, PAGE)
+    assert tlb.stats.miss_rate == 0.5
+
+
+def test_datascalar_with_tlb_is_slower_on_page_spraying_code():
+    """wave5's indirect indices touch many pages: a small TLB hurts."""
+    program = build_program("wave5")
+    node = timing_node_config()
+    base = DataScalarSystem(datascalar_config(2, node=node)).run(
+        program, limit=8000)
+    tlb_node = dataclasses.replace(node, tlb_entries=4)
+    with_tlb = DataScalarSystem(datascalar_config(2, node=tlb_node)).run(
+        program, limit=8000)
+    assert with_tlb.cycles > base.cycles
+
+
+def test_tlb_disabled_by_default():
+    node = timing_node_config()
+    assert node.tlb_entries == 0

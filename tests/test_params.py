@@ -1,0 +1,164 @@
+"""Validation tests for every configuration dataclass."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    BSHRConfig,
+    BusConfig,
+    CacheConfig,
+    CPUConfig,
+    MemoryConfig,
+    NodeConfig,
+    SystemConfig,
+    TraditionalConfig,
+)
+
+
+# ----------------------------------------------------------------------
+# CPUConfig.
+# ----------------------------------------------------------------------
+def test_cpu_defaults_match_paper():
+    cpu = CPUConfig()
+    assert cpu.issue_width == 8
+    assert cpu.ruu_entries == 256
+    assert cpu.lsq_entries == cpu.ruu_entries // 2
+    assert cpu.clock_ghz == 1.0
+    assert cpu.branch_predictor == "perfect"
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"fetch_width": 0},
+    {"issue_width": -1},
+    {"commit_width": 0},
+    {"ruu_entries": 0},
+    {"lsq_entries": 0},
+    {"ruu_entries": 8, "lsq_entries": 16},
+    {"clock_ghz": 0},
+    {"branch_predictor": "psychic"},
+    {"misprediction_penalty": -1},
+])
+def test_cpu_validation(kwargs):
+    with pytest.raises(ConfigError):
+        CPUConfig(**kwargs)
+
+
+def test_cpu_ns_to_cycles():
+    cpu = CPUConfig(clock_ghz=1.0)
+    assert cpu.ns_to_cycles(8) == 8
+    assert cpu.ns_to_cycles(0.2) == 1  # floors at one cycle
+    fast = CPUConfig(clock_ghz=2.0)
+    assert fast.ns_to_cycles(8) == 16
+
+
+def test_cpu_scaled_keeps_lsq_ratio():
+    scaled = CPUConfig().scaled(64)
+    assert scaled.ruu_entries == 64
+    assert scaled.lsq_entries == 32
+
+
+def test_cpu_missing_fu_latency_rejected_by_pool():
+    from repro.cpu import FUPool
+    cpu = dataclasses.replace(CPUConfig(), fu_latencies={"IALU": 1})
+    with pytest.raises(ConfigError):
+        FUPool(cpu)
+
+
+# ----------------------------------------------------------------------
+# CacheConfig.
+# ----------------------------------------------------------------------
+def test_cache_num_sets():
+    cache = CacheConfig(size_bytes=1024, assoc=2, line_size=32)
+    assert cache.num_sets == 16
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"line_size": 24},
+    {"assoc": 3},
+    {"size_bytes": 999},
+    {"size_bytes": 96, "assoc": 1, "line_size": 32},  # 3 sets: not pow2
+    {"hit_latency": 0},
+    {"write_policy": "mystery"},
+])
+def test_cache_validation(kwargs):
+    with pytest.raises(ConfigError):
+        CacheConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# MemoryConfig / BusConfig / BSHRConfig.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    {"onchip_latency": 0},
+    {"offchip_latency": 0},
+    {"num_banks": 0},
+    {"page_size": 1000},
+])
+def test_memory_validation(kwargs):
+    with pytest.raises(ConfigError):
+        MemoryConfig(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"width_bytes": 3},
+    {"cycles_per_bus_cycle": 0},
+    {"interface_latency": -1},
+    {"arbitration_bus_cycles": -1},
+    {"tag_bytes": -1},
+])
+def test_bus_validation(kwargs):
+    with pytest.raises(ConfigError):
+        BusConfig(**kwargs)
+
+
+def test_bshr_validation():
+    with pytest.raises(ConfigError):
+        BSHRConfig(entries=0)
+    with pytest.raises(ConfigError):
+        BSHRConfig(access_latency=-1)
+
+
+# ----------------------------------------------------------------------
+# NodeConfig / SystemConfig / TraditionalConfig.
+# ----------------------------------------------------------------------
+def test_node_validation():
+    with pytest.raises(ConfigError):
+        NodeConfig(broadcast_queue_latency=-1)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"num_nodes": 0},
+    {"distribution_block_pages": 0},
+    {"max_cycles": 0},
+    {"interconnect": "pigeon"},
+])
+def test_system_validation(kwargs):
+    with pytest.raises(ConfigError):
+        SystemConfig(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"onchip_fraction_denom": 0},
+    {"distribution_block_pages": 0},
+    {"max_cycles": 0},
+])
+def test_traditional_validation(kwargs):
+    with pytest.raises(ConfigError):
+        TraditionalConfig(**kwargs)
+
+
+def test_configs_are_frozen():
+    cpu = CPUConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cpu.issue_width = 4
+
+
+def test_bus_transfer_cycles_monotone_in_payload():
+    bus = BusConfig()
+    previous = 0
+    for payload in (0, 8, 16, 64, 256):
+        cycles = bus.transfer_cycles(payload)
+        assert cycles >= previous
+        previous = cycles

@@ -1,0 +1,107 @@
+"""Property-based tests for the result-communication trace filter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resultcomm_exec import ExecRegion, filter_trace
+from repro.isa import Interpreter, ProgramBuilder
+
+PAGE = 4096
+
+
+def _program(n=60):
+    b = ProgramBuilder()
+    base = b.alloc_global("buf", 1024)
+    b.li("r1", base)
+    for i in range(n):
+        if i % 3 == 0:
+            b.lw("r2", "r1", (i % 16) * 4)
+        elif i % 3 == 1:
+            b.addi("r2", "r2", 1)
+        else:
+            b.sw("r2", "r1", (i % 16) * 4)
+    b.halt()
+    return b.build()
+
+
+@st.composite
+def region_sets(draw):
+    """Non-overlapping regions within the 61-record trace."""
+    count = draw(st.integers(min_value=0, max_value=3))
+    bounds = sorted(draw(st.lists(
+        st.integers(min_value=1, max_value=55),
+        min_size=2 * count, max_size=2 * count, unique=True)))
+    regions = []
+    for i in range(count):
+        start, end = bounds[2 * i], bounds[2 * i + 1]
+        owner = draw(st.integers(min_value=0, max_value=1))
+        regions.append(ExecRegion(start, end, owner))
+    return regions
+
+
+def _records(regions, node_id):
+    return list(filter_trace(Interpreter(_program()).trace(), regions,
+                             node_id, num_nodes=2, page_size=PAGE))
+
+
+@given(region_sets())
+@settings(max_examples=80, deadline=None)
+def test_sequence_numbers_dense_and_increasing(regions):
+    for node in (0, 1):
+        records = _records(regions, node)
+        assert [r.seq for r in records] == list(range(len(records)))
+
+
+@given(region_sets())
+@settings(max_examples=80, deadline=None)
+def test_one_mailbox_per_region_at_every_node(regions):
+    for node in (0, 1):
+        records = _records(regions, node)
+        mailboxes = [r for r in records
+                     if r.addr is not None and r.addr >= 0x8000_0000]
+        assert len(mailboxes) == len(regions)
+
+
+def _is_subsequence(small, big) -> bool:
+    iterator = iter(big)
+    return all(any(item == candidate for candidate in iterator)
+               for item in small)
+
+
+@given(region_sets())
+@settings(max_examples=80, deadline=None)
+def test_nonowner_stream_is_subsequence_of_owner_stream(regions):
+    """Non-owners drop exactly the in-region records; everything they do
+    keep appears in the owner's stream in the same order."""
+    owners = {r.owner for r in regions}
+    if owners != {0}:  # make node 0 own everything for a clean inclusion
+        regions = [ExecRegion(r.start_seq, r.end_seq, 0) for r in regions]
+    keyed_owner = [(r.pc, r.op_class, r.addr) for r in _records(regions, 0)
+                   if r.addr is None or r.addr < 0x8000_0000]
+    keyed_other = [(r.pc, r.op_class, r.addr) for r in _records(regions, 1)
+                   if r.addr is None or r.addr < 0x8000_0000]
+    assert len(keyed_other) <= len(keyed_owner)
+    assert _is_subsequence(keyed_other, keyed_owner)
+
+
+@given(region_sets())
+@settings(max_examples=80, deadline=None)
+def test_private_records_only_at_owner(regions):
+    for node in (0, 1):
+        records = _records(regions, node)
+        for record in records:
+            if record.private:
+                # Private records exist only inside regions this node
+                # owns; a non-owner never sees private work.
+                assert any(r.owner == node for r in regions)
+
+
+@given(region_sets())
+@settings(max_examples=50, deadline=None)
+def test_empty_region_list_is_identity(regions):
+    if regions:
+        return
+    original = list(Interpreter(_program()).trace())
+    filtered = _records([], 0)
+    assert len(filtered) == len(original)
+    assert all(not r.private for r in filtered)

@@ -1,0 +1,156 @@
+"""Tests for executed result communication (Section 5.1)."""
+
+import pytest
+
+from repro.core.resultcomm_exec import (
+    ExecRegion,
+    ResultCommSystem,
+    filter_trace,
+    mailbox_address,
+    run_with_result_communication,
+    select_exec_regions,
+)
+from repro.experiments import datascalar_config, timing_node_config
+from repro.isa import Interpreter, ProgramBuilder
+from repro.isa.opcodes import OpClass
+from repro.workloads import build_program
+
+PAGE = 4096
+
+
+def _config(num_nodes=2):
+    return datascalar_config(num_nodes, node=timing_node_config())
+
+
+def _two_region_program(run_len=24):
+    """Loads clustered on page 0 (owner 0), then on page 1 (owner 1)."""
+    b = ProgramBuilder("regions")
+    arr = b.alloc_global("arr", 2 * PAGE)
+    for start in (0, PAGE):
+        b.li("r1", arr + start)
+        b.li("r2", 0)
+        with b.repeat(run_len, "r3"):
+            b.lw("r4", "r1", 0)
+            b.add("r2", "r2", "r4")
+            b.addi("r1", "r1", 32)
+    b.halt()
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Mailbox and region plumbing.
+# ----------------------------------------------------------------------
+def test_mailbox_address_lands_on_owner_page():
+    for region in range(5):
+        for owner in range(4):
+            addr = mailbox_address(region, owner, num_nodes=4,
+                                   page_size=PAGE)
+            assert (addr // PAGE) % 4 == owner
+
+
+def test_mailbox_addresses_are_unique_per_region():
+    addrs = {mailbox_address(r, r % 2, 2, PAGE) for r in range(20)}
+    assert len(addrs) == 20
+
+
+def test_exec_region_validation():
+    with pytest.raises(ValueError):
+        ExecRegion(start_seq=10, end_seq=5, owner=0)
+
+
+def test_select_exec_regions_finds_page_runs():
+    from repro.memory.layout import LayoutSpec, build_page_table
+
+    program = _two_region_program()
+    spec = LayoutSpec(num_nodes=2, page_size=PAGE,
+                      distribution_block_pages=1)
+    table, _ = build_page_table(program, spec)
+    regions = select_exec_regions(program, table, min_loads=8)
+    assert len(regions) == 2
+    assert {r.owner for r in regions} == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# Trace filtering.
+# ----------------------------------------------------------------------
+def _filtered(program, regions, node_id):
+    return list(filter_trace(Interpreter(program).trace(), regions,
+                             node_id, num_nodes=2, page_size=PAGE))
+
+
+def test_filter_owner_keeps_region_with_private_mem_ops():
+    program = _two_region_program()
+    regions = [ExecRegion(5, 20, owner=0)]
+    records = _filtered(program, regions, node_id=0)
+    in_region = [r for r in records
+                 if r.private and r.op_class == int(OpClass.LOAD)]
+    assert in_region  # owner's region loads are private
+    # Sequence numbers are dense and increasing.
+    assert [r.seq for r in records] == list(range(len(records)))
+
+
+def test_filter_nonowner_skips_region_and_gets_mailbox():
+    program = _two_region_program()
+    regions = [ExecRegion(5, 20, owner=0)]
+    owner = _filtered(program, regions, node_id=0)
+    other = _filtered(program, regions, node_id=1)
+    assert len(other) < len(owner)
+    mailbox = [r for r in other
+               if r.addr is not None and r.addr >= 0x8000_0000]
+    assert len(mailbox) == 1
+    assert not any(r.private for r in other)
+
+
+def test_filter_owner_mailbox_depends_on_region_result():
+    program = _two_region_program()
+    regions = [ExecRegion(5, 20, owner=0)]
+    owner = _filtered(program, regions, node_id=0)
+    mailbox = [r for r in owner
+               if r.addr is not None and r.addr >= 0x8000_0000][0]
+    assert mailbox.srcs  # carries a dependence at the owner
+
+
+# ----------------------------------------------------------------------
+# End to end.
+# ----------------------------------------------------------------------
+def test_resultcomm_reduces_broadcasts_and_runs_clean():
+    program = build_program("gcc")
+    base, optimized, regions = run_with_result_communication(
+        program, _config(), min_loads=6, limit=8000)
+    assert regions
+    b_base = sum(n.broadcasts_sent for n in base.nodes)
+    b_opt = sum(n.broadcasts_sent for n in optimized.nodes)
+    assert b_opt < b_base
+    assert optimized.cycles <= base.cycles * 1.1
+
+
+def test_resultcomm_without_regions_equals_baseline():
+    program = _two_region_program()
+    config = _config()
+    from repro.core import DataScalarSystem
+    base = DataScalarSystem(config).run(program)
+    same = ResultCommSystem(config, regions=[]).run(program)
+    assert same.cycles == base.cycles
+
+
+def test_resultcomm_nodes_commit_different_counts():
+    program = _two_region_program()
+    regions = [ExecRegion(5, 40, owner=0)]
+    result = ResultCommSystem(_config(), regions).run(program)
+    committed = [n.pipeline.committed for n in result.nodes]
+    assert committed[0] != committed[1]
+    assert result.instructions == max(committed)
+
+
+def test_result_communication_config_flag_delegates():
+    """SystemConfig.result_communication auto-detects regions."""
+    import dataclasses
+
+    from repro.core import DataScalarSystem
+
+    program = build_program("gcc")
+    flagged = dataclasses.replace(_config(), result_communication=True)
+    optimized = DataScalarSystem(flagged).run(program, limit=6000)
+    plain = DataScalarSystem(_config()).run(program, limit=6000)
+    assert (sum(n.broadcasts_sent for n in optimized.nodes)
+            < sum(n.broadcasts_sent for n in plain.nodes))

@@ -1,0 +1,175 @@
+"""Tests for technology scenarios, CSV/JSON export, and conservative
+disambiguation."""
+
+import json
+
+import pytest
+
+from repro.analysis import rows_to_csv, rows_to_json, write_csv, write_json
+from repro.baseline.perfect import PerfectMemory
+from repro.cpu.pipeline import Pipeline
+from repro.experiments import (
+    SCENARIOS,
+    cmp_scenario,
+    iram_scenario,
+    now_scenario,
+    run_scenario,
+    run_scenarios,
+    run_table1,
+)
+from repro.isa import Interpreter, ProgramBuilder
+from repro.params import CPUConfig
+from repro.workloads import build_program
+
+
+# ----------------------------------------------------------------------
+# Scenarios.
+# ----------------------------------------------------------------------
+def test_three_scenarios_registered():
+    assert set(SCENARIOS) == {"iram", "cmp", "now"}
+
+
+def test_scenario_parameters_are_ordered_by_integration():
+    """More integration -> faster interconnect."""
+    iram, cmp_, now = iram_scenario(), cmp_scenario(), now_scenario()
+    assert (cmp_.bus.cycles_per_bus_cycle
+            < iram.bus.cycles_per_bus_cycle
+            < now.bus.cycles_per_bus_cycle)
+    assert cmp_.bus.width_bytes > now.bus.width_bytes
+
+
+def test_run_scenarios_cmp_fastest():
+    program = build_program("compress")
+    results = {r.scenario: r
+               for r in run_scenarios(program, num_nodes=2, limit=5000)}
+    assert set(results) == {"iram", "cmp", "now"}
+    assert results["cmp"].datascalar_ipc > results["iram"].datascalar_ipc
+    assert results["iram"].datascalar_ipc > results["now"].datascalar_ipc
+
+
+def test_run_scenario_reports_speedup():
+    program = build_program("compress")
+    result = run_scenario(cmp_scenario(), program, limit=4000)
+    assert result.speedup == pytest.approx(
+        result.datascalar_ipc / result.traditional_ipc)
+
+
+# ----------------------------------------------------------------------
+# Export.
+# ----------------------------------------------------------------------
+def test_rows_to_csv_and_json_roundtrip():
+    rows = run_table1(benchmarks=["go", "compress"], limit=20000)
+    csv_text = rows_to_csv(rows)
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("benchmark,")
+    assert len(lines) == 3
+    parsed = json.loads(rows_to_json(rows))
+    assert parsed[0]["benchmark"] == "go"
+    assert 0.0 <= parsed[0]["bytes_eliminated"] < 1.0
+
+
+def test_export_writes_files(tmp_path):
+    rows = run_table1(benchmarks=["go"], limit=10000)
+    csv_path = tmp_path / "t1.csv"
+    json_path = tmp_path / "t1.json"
+    write_csv(csv_path, rows)
+    write_json(json_path, rows)
+    assert csv_path.read_text().startswith("benchmark")
+    assert json.loads(json_path.read_text())[0]["benchmark"] == "go"
+
+
+def test_export_rejects_unknown_rows():
+    with pytest.raises(TypeError):
+        rows_to_csv([object()])
+
+
+def test_export_empty():
+    assert rows_to_csv([]) == ""
+    assert json.loads(rows_to_json([])) == []
+
+
+# ----------------------------------------------------------------------
+# Conservative disambiguation.
+# ----------------------------------------------------------------------
+def _store_then_independent_loads():
+    b = ProgramBuilder()
+    base = b.alloc_global("buf", 256)
+    b.li("r1", base)
+    b.li("r5", base + 128)
+    # A store whose value depends on a long FDIV chain...
+    b.li("r2", 7)
+    b.cvtif("f1", "r2")
+    for _ in range(6):
+        b.fdiv("f1", "f1", "f1")
+    b.cvtfi("r3", "f1")
+    b.sw("r3", "r1", 0)
+    # ...followed by loads to a different address.
+    for offset in range(0, 64, 4):
+        b.lw("r4", "r5", offset)
+    b.halt()
+    return b.build()
+
+
+class _SpyMemory(PerfectMemory):
+    """Records the cycle each load issued."""
+
+    def __init__(self):
+        super().__init__()
+        self.issue_cycles = []
+
+    def load_issue(self, now, addr, size):
+        self.issue_cycles.append(now)
+        return super().load_issue(now, addr, size)
+
+
+def _run(config):
+    spy = _SpyMemory()
+    pipeline = Pipeline(config, spy,
+                        Interpreter(_store_then_independent_loads()).trace())
+    stats = pipeline.run(100_000)
+    return stats, spy
+
+
+def test_conservative_disambiguation_delays_independent_loads():
+    """Oracle mode issues the different-address loads immediately;
+    conservative mode holds them until the slow store has issued."""
+    oracle_stats, oracle_spy = _run(CPUConfig(oracle_disambiguation=True))
+    cons_stats, cons_spy = _run(CPUConfig(oracle_disambiguation=False))
+    assert cons_stats.committed == oracle_stats.committed
+    assert min(cons_spy.issue_cycles) > min(oracle_spy.issue_cycles) + 30
+
+
+def test_conservative_still_forwards_same_address():
+    b = ProgramBuilder()
+    base = b.alloc_global("x", 8)
+    b.li("r1", base)
+    b.li("r2", 42)
+    b.sw("r2", "r1", 0)
+    b.lw("r3", "r1", 0)
+    b.halt()
+
+    class NeverLoad(PerfectMemory):
+        def load_issue(self, now, addr, size):
+            raise AssertionError("should forward from the LSQ")
+
+    pipeline = Pipeline(CPUConfig(oracle_disambiguation=False), NeverLoad(),
+                        Interpreter(b.build()).trace())
+    stats = pipeline.run(100_000)
+    assert stats.loads == 1
+
+
+def test_export_extra_columns():
+    from repro.analysis.export import rows_to_csv
+    rows = run_table1(benchmarks=["go"], limit=5000)
+    text = rows_to_csv(rows, extra_columns=[{"nodes": 2}])
+    lines = text.strip().splitlines()
+    assert lines[0].endswith(",nodes")
+    assert lines[1].endswith(",2")
+
+
+def test_scenarios_at_four_nodes():
+    from repro.experiments import iram_scenario, run_scenario
+    result = run_scenario(iram_scenario(), build_program("compress"),
+                          num_nodes=4, limit=4000)
+    assert result.datascalar_ipc > 0
+    assert result.speedup > 1.0

@@ -1,0 +1,34 @@
+"""System-level smoke: every kernel runs clean on the DataScalar machine.
+
+Each run exercises the full stack — interpreter, pipeline, caches, DCUB,
+BSHR, correspondence, bus — and the end-of-run validator inside
+``DataScalarSystem.run`` raises on any protocol leak, so a pass here is
+a liveness/balance proof over all fifteen memory-behaviour shapes.
+"""
+
+import pytest
+
+from repro.core import DataScalarSystem
+from repro.experiments import datascalar_config, timing_node_config
+from repro.workloads import WORKLOADS, build_program
+
+LIMIT = 3000
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_runs_clean_on_datascalar(name):
+    program = build_program(name)
+    config = datascalar_config(2, node=timing_node_config())
+    result = DataScalarSystem(config).run(program, limit=LIMIT)
+    assert result.instructions == LIMIT
+    assert 0 < result.ipc <= 8
+    assert result.extra["unmapped_pages"] == 0
+
+
+@pytest.mark.parametrize("name", ["compress", "li", "mgrid"])
+def test_workload_runs_clean_on_four_nodes(name):
+    program = build_program(name)
+    config = datascalar_config(4, node=timing_node_config())
+    result = DataScalarSystem(config).run(program, limit=LIMIT)
+    assert result.instructions == LIMIT
+    assert len(result.nodes) == 4

@@ -1,0 +1,91 @@
+"""Tests for trace persistence and the workloads CLI."""
+
+import pytest
+
+from repro.baseline.perfect import PerfectMemory
+from repro.cpu.pipeline import Pipeline
+from repro.errors import ReproError
+from repro.isa import Interpreter, ProgramBuilder
+from repro.isa.tracefile import load_trace, save_trace
+from repro.params import CPUConfig
+from repro.workloads.__main__ import main as workloads_main
+
+
+def _program():
+    b = ProgramBuilder()
+    base = b.alloc_global("buf", 64)
+    b.li("r1", base)
+    b.li("r2", 3)
+    with b.repeat(4, "r3"):
+        b.sw("r2", "r1", 0)
+        b.lw("r4", "r1", 0)
+        b.addi("r1", "r1", 4)
+    b.halt()
+    return b.build()
+
+
+def test_trace_roundtrip_is_lossless(tmp_path):
+    program = _program()
+    path = tmp_path / "t.trace"
+    count = save_trace(path, Interpreter(program).trace())
+    original = list(Interpreter(program).trace())
+    replayed = list(load_trace(path))
+    assert count == len(original) == len(replayed)
+    for a, b in zip(original, replayed):
+        assert (a.seq, a.pc, a.op_class, a.dest, a.srcs, a.addr, a.size,
+                a.taken, a.is_cond_branch) == (
+            b.seq, b.pc, b.op_class, b.dest, b.srcs, b.addr, b.size,
+            b.taken, b.is_cond_branch)
+
+
+def test_replayed_trace_drives_pipeline_identically(tmp_path):
+    program = _program()
+    path = tmp_path / "t.trace"
+    save_trace(path, Interpreter(program).trace())
+    live = Pipeline(CPUConfig(), PerfectMemory(),
+                    Interpreter(program).trace()).run(100_000)
+    replay = Pipeline(CPUConfig(), PerfectMemory(),
+                      load_trace(path)).run(100_000)
+    assert replay.committed == live.committed
+    assert replay.cycles == live.cycles
+
+
+def test_load_rejects_non_trace_files(tmp_path):
+    path = tmp_path / "junk.txt"
+    path.write_text("hello\n")
+    with pytest.raises(ReproError):
+        list(load_trace(path))
+
+
+def test_load_rejects_malformed_records(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("#repro-trace-v1\n1\t2\t3\n")
+    with pytest.raises(ReproError):
+        list(load_trace(path))
+
+
+# ----------------------------------------------------------------------
+# Workloads CLI.
+# ----------------------------------------------------------------------
+def test_cli_list(capsys):
+    assert workloads_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "compress" in out and "tomcatv" in out and "[fp]" in out
+
+
+def test_cli_run(capsys):
+    assert workloads_main(["run", "go", "--limit", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "go (scale 1)" in out
+    assert "instructions" in out
+
+
+def test_cli_disasm(capsys):
+    assert workloads_main(["disasm", "li"]) == 0
+    out = capsys.readouterr().out
+    assert "lw" in out and "halt" in out
+
+
+def test_cli_unknown_workload():
+    with pytest.raises(ReproError):
+        workloads_main(["run", "crysis"])

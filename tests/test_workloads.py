@@ -1,0 +1,132 @@
+"""Tests for the fifteen SPEC95-like workload kernels."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.isa import Interpreter
+from repro.workloads import (
+    TABLE_BENCHMARKS,
+    TIMING_BENCHMARKS,
+    WORKLOADS,
+    build_program,
+    get_workload,
+)
+
+ALL_NAMES = sorted(WORKLOADS)
+
+
+def _checksum(program):
+    interp = Interpreter(program, max_instructions=5_000_000)
+    result = interp.run()
+    assert result.halted, f"{program.name} did not halt"
+    csum_addr = None
+    # Every kernel allocates the conventional "checksum" slot first in
+    # its global segment region; find it via the data image is fragile,
+    # so read back the whole result and compare memory dicts instead.
+    return result, interp.memory
+
+
+# ----------------------------------------------------------------------
+# Registry.
+# ----------------------------------------------------------------------
+def test_registry_contains_fifteen_kernels():
+    assert len(WORKLOADS) == 15
+
+
+def test_table_benchmarks_are_the_papers_fourteen():
+    assert len(TABLE_BENCHMARKS) == 14
+    assert "go" not in TABLE_BENCHMARKS
+    assert all(name in WORKLOADS for name in TABLE_BENCHMARKS)
+
+
+def test_timing_benchmarks_are_the_papers_six():
+    assert sorted(TIMING_BENCHMARKS) == [
+        "applu", "compress", "go", "mgrid", "turb3d", "wave5",
+    ]
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ReproError):
+        get_workload("doom")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ReproError):
+        get_workload("go").build(0)
+
+
+def test_categories_cover_fp_and_int():
+    categories = {w.category for w in WORKLOADS.values()}
+    assert categories == {"fp", "int"}
+
+
+# ----------------------------------------------------------------------
+# Every kernel builds, halts, and touches memory.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_halts_within_budget(name):
+    program = build_program(name)
+    interp = Interpreter(program, max_instructions=5_000_000)
+    result = interp.run()
+    assert result.halted
+    assert 5_000 < result.instructions < 1_000_000
+    assert result.loads > 100
+    assert result.stores > 50
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_is_deterministic(name):
+    program = build_program(name)
+    first = Interpreter(program)
+    first.run()
+    second = Interpreter(build_program(name))
+    second.run()
+    assert first.memory == second.memory
+    assert first.instructions_executed == second.instructions_executed
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_NAMES if n != "fpppp"])
+def test_kernel_data_spans_multiple_pages(name):
+    """Distribution needs data on more than one 4KB page.  fpppp is the
+    deliberate exception — its fingerprint is a tiny data set under a
+    large text segment."""
+    program = build_program(name)
+    footprint = program.global_bytes + program.heap_bytes
+    assert footprint > 4096, f"{name} data fits one page ({footprint}B)"
+
+
+def test_scale_grows_the_run():
+    small = Interpreter(build_program("tomcatv", 1))
+    small.run()
+    big = Interpreter(build_program("tomcatv", 2), max_instructions=10_000_000)
+    big.run()
+    assert big.instructions_executed > 2 * small.instructions_executed
+
+
+def test_compress_issues_almost_as_many_stores_as_loads():
+    """The property behind compress's Figure 7 win."""
+    interp = Interpreter(build_program("compress"))
+    result = interp.run()
+    ratio = result.stores / result.loads
+    assert 0.7 < ratio < 1.4
+
+
+def test_fpppp_text_dominates_data():
+    program = build_program("fpppp")
+    assert program.text_bytes > program.global_bytes
+
+
+def test_li_heap_is_small_and_hot():
+    program = build_program("li")
+    assert program.heap_bytes <= 64 * 1024
+    result = Interpreter(program).run()
+    # Tiny data set, many references: high reuse.
+    assert result.loads > program.heap_bytes / 8
+
+
+def test_fp_kernels_use_fp_arithmetic():
+    from repro.isa.opcodes import OP_CLASS, OpClass
+    for name in ("tomcatv", "swim", "mgrid", "applu", "turb3d", "fpppp"):
+        program = build_program(name)
+        classes = {OP_CLASS[i.op] for i in program.instructions}
+        assert OpClass.FADD in classes or OpClass.FMULT in classes, name
