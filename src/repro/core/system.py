@@ -2,22 +2,27 @@
 
 Mirrors the paper's simulation platform: a multi-context simulator that
 "switches contexts after executing each cycle (i.e., it simulates cycle n
-for all contexts before simulating cycle n+1 for any context)".  Every
-node runs its own functional interpreter over the same program (SPSD),
-so all nodes fetch, execute, and commit the identical dynamic stream at
-their own pace — asynchronous ESP.
+for all contexts before simulating cycle n+1 for any context)".  All
+nodes fetch, execute, and commit the identical dynamic stream (SPSD) at
+their own pace — asynchronous ESP; one shared functional interpreter
+feeds every node through :mod:`repro.isa.fanout`, and provably idle
+cycle ranges are skipped (see :meth:`DataScalarSystem._advance`) without
+altering any reported cycle count or statistic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..cpu.pipeline import Pipeline, PipelineStats
+from ..cpu.pipeline import DEADLOCK_CYCLES, Pipeline, PipelineStats
 from ..errors import ProtocolError, SimulationError
 from ..interconnect.medium import make_medium
+from ..isa.fanout import fan_out
 from ..isa.interpreter import Interpreter
 from ..memory.layout import LayoutSpec, build_page_table
 from ..params import SystemConfig
+
+_INF = float("inf")
 
 
 @dataclass
@@ -105,6 +110,21 @@ class DataScalarSystem:
         """Build node ``node_id``'s dynamic stream (hook for subclasses)."""
         return Interpreter(program).trace(limit=limit)
 
+    def _make_traces(self, program, limit) -> "list":
+        """One dynamic stream per node.
+
+        SPSD nodes consume the identical stream, so the default runs a
+        single functional interpreter and fans its records out to all
+        nodes (O(I) interpretation instead of O(N·I)).  Subclasses that
+        override :meth:`_make_trace` (asymmetric per-node streams, e.g.
+        result communication) keep one interpreter per node.
+        """
+        num_nodes = self.config.num_nodes
+        if type(self)._make_trace is not DataScalarSystem._make_trace:
+            return [self._make_trace(program, node_id, limit)
+                    for node_id in range(num_nodes)]
+        return fan_out(Interpreter(program).trace(limit=limit), num_nodes)
+
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024,
             observer=None) -> DataScalarResult:
@@ -163,6 +183,7 @@ class DataScalarSystem:
                     node.bshr.arrival(arrival, line)
 
         pipelines = []
+        traces = self._make_traces(program, limit)
         for node_id in range(config.num_nodes):
             if config.l2 is not None:
                 from .node_l2 import DataScalarL2Node
@@ -175,10 +196,13 @@ class DataScalarSystem:
                     node_id, config.node, page_table, medium,
                     deliver, num_peers=config.num_nodes - 1)
             nodes.append(node)
-            trace = self._make_trace(program, node_id, limit)
-            pipelines.append(Pipeline(config.node.cpu, node, trace,
+            pipelines.append(Pipeline(config.node.cpu, node,
+                                      traces[node_id],
                                       icache_line=config.node.icache.line_size))
 
+        # Dense per-cycle ticking is required whenever an observer wants
+        # to see every cycle; otherwise skip provably idle cycle ranges.
+        fast_forward = config.fast_forward and observer is None
         cycle = 0
         while not all(p.done for p in pipelines):
             if cycle >= config.max_cycles:
@@ -189,10 +213,52 @@ class DataScalarSystem:
                 pipeline.tick(cycle)
             if observer is not None:
                 observer(cycle, pipelines, nodes, medium)
-            cycle += 1
+            if fast_forward:
+                cycle = self._advance(cycle, pipelines, config)
+            else:
+                cycle += 1
 
         return self._collect(cycle, pipelines, nodes, medium, page_table,
                              layout_summary)
+
+    @staticmethod
+    def _advance(cycle: int, pipelines, config) -> int:
+        """Next cycle to simulate: ``cycle + 1``, or the earliest future
+        event when every pipeline is provably idle until then.
+
+        Skipped cycles are observationally idle for every node — no
+        commit, issue, resolve, fetch, or interconnect activity can
+        occur, only per-cycle stall counting, which
+        :meth:`Pipeline.note_skipped` replays exactly.
+        """
+        nxt = cycle + 1
+        target = _INF
+        for pipeline in pipelines:
+            if pipeline.done:
+                continue
+            event = pipeline.next_event(cycle)
+            if event <= nxt:
+                return nxt
+            if event < target:
+                target = event
+        if target is _INF:
+            # No node has a self-generated event: the dense loop would
+            # spin until a pipeline's deadlock detector fires (or the
+            # cycle budget runs out) — jump straight to that tick so the
+            # same error surfaces at the same cycle.
+            pending = [p._last_commit_cycle + DEADLOCK_CYCLES + 1
+                       for p in pipelines if not p.done]
+            if not pending:  # everything finished this cycle
+                return nxt
+            target = min(pending)
+        if target > config.max_cycles:
+            target = config.max_cycles
+        if target <= nxt:
+            return nxt
+        target = int(target)
+        for pipeline in pipelines:
+            pipeline.note_skipped(nxt, target)
+        return target
 
     def _collect(self, cycles, pipelines, nodes, medium, page_table,
                  layout_summary) -> DataScalarResult:

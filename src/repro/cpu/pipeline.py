@@ -146,29 +146,44 @@ class Pipeline:
     # Load completion (memory system may resolve handles asynchronously).
     # ------------------------------------------------------------------
     def _resolve_pending_loads(self, now: int) -> None:
-        if not self._pending_loads:
+        pending = self._pending_loads
+        if not pending:
             return
-        still_pending = []
-        for entry in self._pending_loads:
+        # Compact in place: the common no-progress cycle (every handle
+        # still unresolved) must not allocate.
+        kept = 0
+        for entry in pending:
             ready = entry.handle.ready
             if ready is None:
-                still_pending.append(entry)
+                pending[kept] = entry
+                kept += 1
             else:
                 self.ruu.resolve(entry, max(ready, entry.issued_at + 1))
-        self._pending_loads = still_pending
+        if kept != len(pending):
+            del pending[kept:]
 
     # ------------------------------------------------------------------
     # Issue stage.
     # ------------------------------------------------------------------
     def _issue(self, now: int) -> None:
         issued = 0
-        batch = self.ruu.schedulable(now)
+        ruu = self.ruu
+        fus = self.fus
+        batch = ruu.schedulable(now)
+        width = self.config.issue_width
+        blocked_classes = 0  # FU classes with no free slot left this cycle
         for position, entry in enumerate(batch):
-            if issued >= self.config.issue_width:
+            if issued >= width:
                 self._requeue_rest(batch[position:], now)
                 return
-            if not self.fus.try_claim(now, entry.op_class):
-                self.ruu.requeue(entry, now + 1)
+            op_class = entry.op_class
+            class_bit = 1 << op_class
+            if blocked_classes & class_bit:
+                ruu.requeue(entry, now + 1)
+                continue
+            if not fus.try_claim(now, op_class):
+                blocked_classes |= class_bit
+                ruu.requeue(entry, now + 1)
                 continue
             if entry.is_load:
                 if not self._issue_load(entry, now):
@@ -176,10 +191,10 @@ class Pipeline:
             elif entry.is_store:
                 self._issue_store(entry, now)
             else:
-                latency = self.fus.latency(entry.op_class)
+                latency = fus.latency(op_class)
                 entry.issued = True
                 entry.issued_at = now
-                self.ruu.resolve(entry, now + latency)
+                ruu.resolve(entry, now + latency)
             issued += 1
 
     def _requeue_rest(self, rest, now: int) -> None:
@@ -285,6 +300,93 @@ class Pipeline:
 
     def _consume_trace(self) -> None:
         self._fetch_buffer = None
+
+    # ------------------------------------------------------------------
+    # Fast-forward support (idle-cycle skipping).
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> float:
+        """Lower bound on the next cycle at which :meth:`tick` could do
+        anything beyond pure stall bookkeeping.
+
+        Valid only immediately after every pipeline in the system has
+        ticked cycle ``now`` (cross-node broadcasts resolve load handles
+        during other nodes' ticks).  Returns ``inf`` when this pipeline
+        has no self-generated event — it is waiting on another node.
+        The system loop takes the minimum across nodes; cycles before it
+        are observationally idle everywhere and may be skipped once
+        :meth:`note_skipped` replays their stall accounting.
+        """
+        if self.done:
+            return float("inf")
+        nxt = now + 1
+        # A handle resolved during this cycle (by another node's
+        # broadcast or an earlier local stage) is collected next tick.
+        for entry in self._pending_loads:
+            if entry.handle.ready is not None:
+                return nxt
+        bound = float("inf")
+        ready = self.ruu.next_ready_time()
+        if ready is not None:
+            if ready <= nxt:
+                return nxt
+            bound = ready
+        head = self.ruu.head()
+        if head is not None and head.issued \
+                and head.result_time is not None:
+            when = head.result_time
+            if when <= nxt:
+                return nxt
+            if when < bound:
+                bound = when
+        if self._redirect_after is not None:
+            when = self._redirect_after.result_time
+            if when is not None:
+                if when <= nxt:
+                    return nxt
+                if when < bound:
+                    bound = when
+        elif not self._trace_done:
+            if nxt < self._fetch_ready:
+                if self._fetch_ready < bound:
+                    bound = self._fetch_ready
+            elif not self.ruu.is_full():
+                dyn = self._peek_trace()
+                if dyn is not None and not (
+                        dyn.op_class in (_LOAD, _STORE)
+                        and self.lsq.is_full()):
+                    return nxt  # fetch dispatches next cycle
+        if self._trace_done and not self.ruu.window:
+            return nxt  # drain handshake must run every cycle
+        return bound
+
+    def note_skipped(self, start: int, stop: int) -> None:
+        """Replay stall accounting for skipped cycles ``[start, stop)``.
+
+        The system loop guarantees the range is observationally idle for
+        this pipeline (``stop`` is at most :meth:`next_event`), so each
+        skipped tick would have incremented exactly the stall counter
+        its frozen fetch state selects — mirroring :meth:`_fetch`'s
+        branch order: redirect, fetch-ready, window, LSQ.
+        """
+        cycles = stop - start
+        if cycles <= 0 or self.done:
+            return
+        stats = self.stats
+        if self._redirect_after is not None:
+            stats.fetch_stalls += cycles
+            return
+        if self._trace_done:
+            return
+        if start < self._fetch_ready:
+            stats.fetch_stalls += cycles
+            return
+        if self.ruu.is_full():
+            stats.window_stalls += cycles
+            return
+        dyn = self._peek_trace()
+        if dyn is not None and dyn.op_class in (_LOAD, _STORE) \
+                and self.lsq.is_full():
+            stats.lsq_stalls += cycles
 
     # ------------------------------------------------------------------
     # Whole-program convenience for single-core systems.

@@ -18,6 +18,10 @@ _LOAD = int(OpClass.LOAD)
 _STORE = int(OpClass.STORE)
 
 
+def _entry_seq(entry) -> int:
+    return entry.seq
+
+
 class RUUEntry:
     """One in-flight instruction."""
 
@@ -68,6 +72,10 @@ class RUU:
         self.window = deque()
         self._last_writer = {}
         self._ready_heap = []
+        #: Entries that failed to issue this cycle retry next cycle; they
+        #: all share the same key, so a plain list beats heap traffic.
+        self._stalled = []
+        self._stalled_retry = -1
 
     def __len__(self) -> int:
         return len(self.window)
@@ -119,8 +127,28 @@ class RUU:
 
     def schedulable(self, now: int):
         """Pop every entry whose operands are ready at ``now`` (ordered
-        oldest-first); callers re-queue entries they cannot issue."""
+        as the heap would order them: by ready time, then age); callers
+        re-queue entries they cannot issue."""
+        stalled = None
+        if self._stalled and self._stalled_retry <= now:
+            stalled = self._stalled
+            retry = self._stalled_retry
+            self._stalled = []
+        if not self._stalled:
+            # Requeues during this cycle's issue pass land in the bucket.
+            self._stalled_retry = now + 1
         heap = self._ready_heap
+        if stalled is not None:
+            if heap and heap[0][0] <= now:
+                merged = [(retry, entry.seq, entry) for entry in stalled]
+                while heap and heap[0][0] <= now:
+                    item = heapq.heappop(heap)
+                    if not item[2].issued:
+                        merged.append(item)
+                merged.sort()
+                return [entry for _, _, entry in merged]
+            stalled.sort(key=_entry_seq)
+            return stalled
         batch = []
         while heap and heap[0][0] <= now:
             _, _, entry = heapq.heappop(heap)
@@ -132,7 +160,18 @@ class RUU:
         """Put an un-issuable entry back, retrying at ``not_before``."""
         if not_before <= entry.operand_time:
             not_before = entry.operand_time + 1
-        heapq.heappush(self._ready_heap, (not_before, entry.seq, entry))
+        if not_before == self._stalled_retry:
+            self._stalled.append(entry)
+        else:
+            heapq.heappush(self._ready_heap, (not_before, entry.seq, entry))
+
+    def next_ready_time(self):
+        """Earliest cycle any queued entry could be scheduled, or ``None``
+        when nothing is waiting to issue."""
+        ready = self._ready_heap[0][0] if self._ready_heap else None
+        if self._stalled and (ready is None or self._stalled_retry < ready):
+            return self._stalled_retry
+        return ready
 
     def pop_head(self) -> RUUEntry:
         """Remove and return the oldest entry (it must be committable)."""

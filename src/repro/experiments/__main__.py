@@ -54,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default=None,
                         help="also write result rows to this CSV file "
                              "(row-producing experiments only)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="run under cProfile and dump pstats data "
+                             "to PATH (inspect with python -m pstats)")
     return parser
 
 
@@ -75,10 +78,24 @@ def main(argv=None) -> int:
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    for name in names:
-        print(run_one(name, args.limit,
-                      args.csv if len(names) == 1 else None))
-        print()
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for name in names:
+            print(run_one(name, args.limit,
+                          args.csv if len(names) == 1 else None))
+            print()
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile} "
+                  f"(inspect with: python -m pstats {args.profile})",
+                  file=sys.stderr)
     return 0
 
 

@@ -3,6 +3,7 @@
 from .assembler import Assembler, assemble
 from .builder import ProgramBuilder
 from .disasm import disassemble, disassemble_instruction
+from .fanout import TraceFanout, fan_out
 from .instruction import Instruction
 from .interpreter import ExecResult, Interpreter, run_program
 from .opcodes import OpClass, Opcode
@@ -16,6 +17,8 @@ __all__ = [
     "ProgramBuilder",
     "disassemble",
     "disassemble_instruction",
+    "TraceFanout",
+    "fan_out",
     "Instruction",
     "ExecResult",
     "Interpreter",

@@ -1,0 +1,117 @@
+"""Shared dynamic-trace fan-out for SPSD simulation.
+
+Every DataScalar node executes the *identical* dynamic instruction
+stream (the paper's serial-program, single-dataset model), so running
+one functional interpreter per node interprets the same program N times.
+:class:`TraceFanout` runs the interpreter **once** and tees its
+:class:`~repro.isa.trace.DynInstr` records to N consumer views through a
+bounded ring buffer, cutting interpretation cost from O(N·I) to O(I).
+
+The views are plain iterators, so they drop into ``Pipeline`` unchanged.
+Records are shared by reference: the timing models treat ``DynInstr`` as
+immutable (systems that rewrite per-node streams — result communication
+— keep their own interpreters via the ``_make_trace`` hook instead).
+
+Consumers advance at different paces, but never further apart than one
+instruction window: a pipeline pulls a record only when it has RUU space
+to dispatch it, so the buffer's natural high-water mark is about
+``ruu_entries + fetch_width``.  The capacity bound exists to turn a
+protocol bug (one node wedged while others stream ahead) into a loud
+error instead of unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SimulationError
+
+#: Default ring capacity — far above any legal window-bounded lag.
+DEFAULT_CAPACITY = 65_536
+
+
+class TraceFanout:
+    """Tee one dynamic-instruction stream to ``num_views`` consumers."""
+
+    def __init__(self, source, num_views: int,
+                 capacity: int = DEFAULT_CAPACITY):
+        if num_views < 1:
+            raise SimulationError("TraceFanout needs at least one view")
+        if capacity < 1:
+            raise SimulationError("TraceFanout capacity must be >= 1")
+        self._source = iter(source)
+        self._buffer = deque()
+        self._base = 0  # stream position of _buffer[0]
+        self._produced = 0  # records pulled from the source so far
+        self._positions = [0] * num_views
+        self._exhausted = False
+        self.capacity = capacity
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    # Consumer protocol (one view calls this per record).
+    # ------------------------------------------------------------------
+    def _next_for(self, view_id: int):
+        position = self._positions[view_id]
+        if position == self._produced:
+            if self._exhausted:
+                raise StopIteration
+            try:
+                record = next(self._source)
+            except StopIteration:
+                self._exhausted = True
+                raise
+            if len(self._buffer) >= self.capacity:
+                raise SimulationError(
+                    f"TraceFanout ring exceeded {self.capacity} records — "
+                    f"one consumer is wedged (positions={self._positions})"
+                )
+            self._buffer.append(record)
+            self._produced += 1
+            if len(self._buffer) > self.high_water:
+                self.high_water = len(self._buffer)
+        else:
+            record = self._buffer[position - self._base]
+        self._positions[view_id] = position + 1
+        if position == self._base:
+            self._trim()
+        return record
+
+    def _trim(self) -> None:
+        """Drop records every view has consumed (laggard advanced)."""
+        oldest = min(self._positions)
+        buffer = self._buffer
+        while self._base < oldest and buffer:
+            buffer.popleft()
+            self._base += 1
+
+    def views(self) -> "list":
+        """One iterator per consumer, in view-id order."""
+        return [_TraceView(self, i) for i in range(len(self._positions))]
+
+
+class _TraceView:
+    """One consumer's iterator over the shared stream."""
+
+    __slots__ = ("_fanout", "_view_id")
+
+    def __init__(self, fanout: TraceFanout, view_id: int):
+        self._fanout = fanout
+        self._view_id = view_id
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        return self._fanout._next_for(self._view_id)
+
+
+def fan_out(source, num_views: int, capacity: int = DEFAULT_CAPACITY):
+    """Convenience: return ``num_views`` iterators over ``source``.
+
+    A single view bypasses the ring entirely — the source iterator is
+    returned as-is.
+    """
+    if num_views == 1:
+        return [iter(source)]
+    return TraceFanout(source, num_views, capacity=capacity).views()

@@ -4,6 +4,12 @@ This is the execution-driven front end: it runs programs to completion,
 optionally emitting a dynamic-instruction trace (for the timing models) or
 a bare memory-reference stream (for the cache-filter studies of paper
 Sections 3.1 and 3.2).
+
+Dispatch is predecoded: construction compiles every static instruction
+into a zero-argument closure with its operand fields, fall-through
+successor, and error text bound at compile time, so the hot loop is one
+list index and one call per retired instruction instead of a long
+opcode ``if``/``elif`` chain.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from dataclasses import dataclass
 
 from ..errors import ExecutionError
 from ..memory.address import INSTRUCTION_BYTES, STACK_TOP, TEXT_BASE
-from .opcodes import OP_CLASS, Opcode
+from .opcodes import CONDITIONAL_BRANCHES, OP_CLASS, Opcode
 from .program import Program
 from .registers import NUM_REGS, SP, ZERO
 from .trace import IFETCH, READ, WRITE, DynInstr, MemRef
@@ -67,173 +73,384 @@ class Interpreter:
         self.registers[SP] = STACK_TOP - 16
         self.memory = dict(program.data_image)
         self._code = self._compile(program)
+        #: Per-index static record fields for :meth:`trace`:
+        #: ``(pc, op_class, dest, srcs, is_cond_branch)``.
+        self._meta = [
+            (TEXT_BASE + i * INSTRUCTION_BYTES, int(OP_CLASS[ins.op]),
+             ins.destination(), ins.sources(), ins.op in CONDITIONAL_BRANCHES)
+            for i, ins in enumerate(program.instructions)
+        ]
         self.instructions_executed = 0
         self.loads = 0
         self.stores = 0
         self.halted = False
 
-    @staticmethod
-    def _compile(program: Program):
-        """Flatten instructions into tuples for a fast dispatch loop."""
-        code = []
-        for instr in program.instructions:
-            code.append(
-                (int(instr.op), instr.rd, instr.rs1, instr.rs2, instr.imm,
-                 instr.target)
-            )
-        return code
+    def _compile(self, program):
+        """Predecode every instruction into an execution closure.
+
+        Each closure performs one retired instruction against the live
+        register file and memory image and returns ``(next_index,
+        mem_kind, address, size)`` — ``mem_kind`` is ``None`` for
+        non-memory instructions.  Non-memory closures return a tuple
+        frozen at compile time, so the steady state allocates nothing.
+        """
+        code_len = len(program.instructions)
+        return [self._compile_one(index, instr, code_len)
+                for index, instr in enumerate(program.instructions)]
+
+    def _compile_one(self, index: int, instr, code_len: int):
+        op = instr.op
+        rd, rs1, rs2 = instr.rd, instr.rs1, instr.rs2
+        imm, target = instr.imm, instr.target
+        regs = self.registers
+        memory = self.memory
+        fall = (index + 1, None, 0, 0)
+        writes = rd is not None and rd != ZERO
+
+        # ---------------- integer register-register ALU ----------------
+        if op == Opcode.ADD:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] + regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SUB:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] - regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.MUL:
+            if writes:
+                def step():
+                    regs[rd] = _to_signed(regs[rs1] * regs[rs2])
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.DIV:
+            def step():
+                b = regs[rs2]
+                if b == 0:
+                    raise ExecutionError(f"divide by zero at index {index}")
+                value = _trunc_div(regs[rs1], b)
+                if writes:
+                    regs[rd] = value
+                return fall
+        elif op == Opcode.REM:
+            def step():
+                b = regs[rs2]
+                if b == 0:
+                    raise ExecutionError(
+                        f"remainder by zero at index {index}")
+                value = _trunc_rem(regs[rs1], b)
+                if writes:
+                    regs[rd] = value
+                return fall
+        elif op == Opcode.AND:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] & regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.OR:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] | regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.XOR:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] ^ regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SLL:
+            if writes:
+                def step():
+                    regs[rd] = _to_signed(regs[rs1] << (regs[rs2] & 63))
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SRL:
+            if writes:
+                def step():
+                    regs[rd] = (regs[rs1] & _U64) >> (regs[rs2] & 63)
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SRA:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] >> (regs[rs2] & 63)
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SLT:
+            if writes:
+                def step():
+                    regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+                    return fall
+            else:
+                def step():
+                    return fall
+        # ---------------- immediate integer ALU ----------------
+        elif op == Opcode.LI:
+            if writes:
+                def step():
+                    regs[rd] = imm
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.MOV:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.ADDI:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] + imm
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.ANDI:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] & imm
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.ORI:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] | imm
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.XORI:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] ^ imm
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SLLI:
+            shift = imm & 63
+            if writes:
+                def step():
+                    regs[rd] = _to_signed(regs[rs1] << shift)
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SRLI:
+            shift = imm & 63
+            if writes:
+                def step():
+                    regs[rd] = (regs[rs1] & _U64) >> shift
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.SLTI:
+            if writes:
+                def step():
+                    regs[rd] = 1 if regs[rs1] < imm else 0
+                    return fall
+            else:
+                def step():
+                    return fall
+        # ---------------- memory ----------------
+        elif op in (Opcode.LW, Opcode.LB, Opcode.LD):
+            size = 4 if op == Opcode.LW else (1 if op == Opcode.LB else 8)
+            default = 0.0 if op == Opcode.LD else 0
+            nxt = index + 1
+
+            def step():
+                addr = regs[rs1] + imm
+                if addr % size:
+                    raise ExecutionError(
+                        f"unaligned load of {size} at {addr:#x} "
+                        f"(index {index})"
+                    )
+                if writes:
+                    regs[rd] = memory.get(addr, default)
+                self.loads += 1
+                return (nxt, READ, addr, size)
+        elif op in (Opcode.SW, Opcode.SB, Opcode.SD):
+            size = 4 if op == Opcode.SW else (1 if op == Opcode.SB else 8)
+            masked = op == Opcode.SB
+            nxt = index + 1
+
+            def step():
+                addr = regs[rs1] + imm
+                if addr % size:
+                    raise ExecutionError(
+                        f"unaligned store of {size} at {addr:#x} "
+                        f"(index {index})"
+                    )
+                value = regs[rs2]
+                if masked:
+                    value &= 0xFF
+                memory[addr] = value
+                self.stores += 1
+                return (nxt, WRITE, addr, size)
+        # ---------------- floating point ----------------
+        elif op == Opcode.FADD:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] + regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.FSUB:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] - regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.FMUL:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1] * regs[rs2]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.FDIV:
+            def step():
+                divisor = regs[rs2]
+                if divisor == 0.0:
+                    raise ExecutionError(
+                        f"fp divide by zero at index {index}")
+                value = regs[rs1] / divisor
+                if writes:
+                    regs[rd] = value
+                return fall
+        elif op == Opcode.FNEG:
+            if writes:
+                def step():
+                    regs[rd] = -regs[rs1]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.FMOV:
+            if writes:
+                def step():
+                    regs[rd] = regs[rs1]
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.FCLT:
+            if writes:
+                def step():
+                    regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.CVTIF:
+            if writes:
+                def step():
+                    regs[rd] = float(regs[rs1])
+                    return fall
+            else:
+                def step():
+                    return fall
+        elif op == Opcode.CVTFI:
+            if writes:
+                def step():
+                    regs[rd] = int(regs[rs1])
+                    return fall
+            else:
+                def step():
+                    return fall
+        # ---------------- control ----------------
+        elif op in CONDITIONAL_BRANCHES:
+            taken = (target, None, 0, 0)
+            if op == Opcode.BEQ:
+                def step():
+                    return taken if regs[rs1] == regs[rs2] else fall
+            elif op == Opcode.BNE:
+                def step():
+                    return taken if regs[rs1] != regs[rs2] else fall
+            elif op == Opcode.BLT:
+                def step():
+                    return taken if regs[rs1] < regs[rs2] else fall
+            elif op == Opcode.BGE:
+                def step():
+                    return taken if regs[rs1] >= regs[rs2] else fall
+            elif op == Opcode.BLE:
+                def step():
+                    return taken if regs[rs1] <= regs[rs2] else fall
+            else:  # BGT
+                def step():
+                    return taken if regs[rs1] > regs[rs2] else fall
+        elif op == Opcode.J:
+            jump = (target, None, 0, 0)
+
+            def step():
+                return jump
+        elif op == Opcode.JAL:
+            jump = (target, None, 0, 0)
+            link = TEXT_BASE + (index + 1) * INSTRUCTION_BYTES
+            if writes:
+                def step():
+                    regs[rd] = link
+                    return jump
+            else:
+                def step():
+                    return jump
+        elif op == Opcode.JR:
+            def step():
+                pc = regs[rs1]
+                nxt, mis = divmod(pc - TEXT_BASE, INSTRUCTION_BYTES)
+                if mis or not 0 <= nxt < code_len:
+                    raise ExecutionError(
+                        f"JR to bad pc {pc:#x} (index {index})")
+                return (nxt, None, 0, 0)
+        elif op == Opcode.HALT:
+            def step():
+                self.halted = True
+                return fall
+        else:  # NOP
+            def step():
+                return fall
+        return step
 
     # ------------------------------------------------------------------
     # Core step.  Returns (next_index, mem_kind, address, size) where
     # mem_kind is None for non-memory instructions.
     # ------------------------------------------------------------------
     def _exec_one(self, index: int):
-        op, rd, rs1, rs2, imm, target = self._code[index]
-        regs = self.registers
-        nxt = index + 1
-        kind = None
-        addr = 0
-        size = 0
-
-        if op <= int(Opcode.SLT):  # register-register integer ALU
-            a = regs[rs1]
-            b = regs[rs2]
-            if op == Opcode.ADD:
-                value = a + b
-            elif op == Opcode.SUB:
-                value = a - b
-            elif op == Opcode.MUL:
-                value = _to_signed(a * b)
-            elif op == Opcode.DIV:
-                if b == 0:
-                    raise ExecutionError(f"divide by zero at index {index}")
-                value = _trunc_div(a, b)
-            elif op == Opcode.REM:
-                if b == 0:
-                    raise ExecutionError(f"remainder by zero at index {index}")
-                value = _trunc_rem(a, b)
-            elif op == Opcode.AND:
-                value = a & b
-            elif op == Opcode.OR:
-                value = a | b
-            elif op == Opcode.XOR:
-                value = a ^ b
-            elif op == Opcode.SLL:
-                value = _to_signed(a << (b & 63))
-            elif op == Opcode.SRL:
-                value = (a & _U64) >> (b & 63)
-            elif op == Opcode.SRA:
-                value = a >> (b & 63)
-            else:  # SLT
-                value = 1 if a < b else 0
-            if rd != ZERO:
-                regs[rd] = value
-        elif op <= int(Opcode.MOV):  # immediate integer ALU
-            if op == Opcode.LI:
-                value = imm
-            elif op == Opcode.MOV:
-                value = regs[rs1]
-            else:
-                a = regs[rs1]
-                if op == Opcode.ADDI:
-                    value = a + imm
-                elif op == Opcode.ANDI:
-                    value = a & imm
-                elif op == Opcode.ORI:
-                    value = a | imm
-                elif op == Opcode.XORI:
-                    value = a ^ imm
-                elif op == Opcode.SLLI:
-                    value = _to_signed(a << (imm & 63))
-                elif op == Opcode.SRLI:
-                    value = (a & _U64) >> (imm & 63)
-                else:  # SLTI
-                    value = 1 if a < imm else 0
-            if rd != ZERO:
-                regs[rd] = value
-        elif op <= int(Opcode.SD):  # memory
-            addr = regs[rs1] + imm
-            if op == Opcode.LW or op == Opcode.LB or op == Opcode.LD:
-                size = 4 if op == Opcode.LW else (1 if op == Opcode.LB else 8)
-                if addr % size:
-                    raise ExecutionError(
-                        f"unaligned load of {size} at {addr:#x} (index {index})"
-                    )
-                default = 0.0 if op == Opcode.LD else 0
-                if rd != ZERO:
-                    regs[rd] = self.memory.get(addr, default)
-                kind = READ
-                self.loads += 1
-            else:
-                size = 4 if op == Opcode.SW else (1 if op == Opcode.SB else 8)
-                if addr % size:
-                    raise ExecutionError(
-                        f"unaligned store of {size} at {addr:#x} (index {index})"
-                    )
-                value = regs[rs2]
-                if op == Opcode.SB:
-                    value &= 0xFF
-                self.memory[addr] = value
-                kind = WRITE
-                self.stores += 1
-        elif op <= int(Opcode.CVTFI):  # floating point
-            if op == Opcode.FADD:
-                value = regs[rs1] + regs[rs2]
-            elif op == Opcode.FSUB:
-                value = regs[rs1] - regs[rs2]
-            elif op == Opcode.FMUL:
-                value = regs[rs1] * regs[rs2]
-            elif op == Opcode.FDIV:
-                divisor = regs[rs2]
-                if divisor == 0.0:
-                    raise ExecutionError(f"fp divide by zero at index {index}")
-                value = regs[rs1] / divisor
-            elif op == Opcode.FNEG:
-                value = -regs[rs1]
-            elif op == Opcode.FMOV:
-                value = regs[rs1]
-            elif op == Opcode.FCLT:
-                value = 1 if regs[rs1] < regs[rs2] else 0
-            elif op == Opcode.CVTIF:
-                value = float(regs[rs1])
-            else:  # CVTFI
-                value = int(regs[rs1])
-            if rd != ZERO:
-                regs[rd] = value
-        else:  # control
-            if op == Opcode.BEQ:
-                if regs[rs1] == regs[rs2]:
-                    nxt = target
-            elif op == Opcode.BNE:
-                if regs[rs1] != regs[rs2]:
-                    nxt = target
-            elif op == Opcode.BLT:
-                if regs[rs1] < regs[rs2]:
-                    nxt = target
-            elif op == Opcode.BGE:
-                if regs[rs1] >= regs[rs2]:
-                    nxt = target
-            elif op == Opcode.BLE:
-                if regs[rs1] <= regs[rs2]:
-                    nxt = target
-            elif op == Opcode.BGT:
-                if regs[rs1] > regs[rs2]:
-                    nxt = target
-            elif op == Opcode.J:
-                nxt = target
-            elif op == Opcode.JAL:
-                if rd != ZERO:
-                    regs[rd] = TEXT_BASE + (index + 1) * INSTRUCTION_BYTES
-                nxt = target
-            elif op == Opcode.JR:
-                pc = regs[rs1]
-                nxt, mis = divmod(pc - TEXT_BASE, INSTRUCTION_BYTES)
-                if mis or not 0 <= nxt < len(self._code):
-                    raise ExecutionError(f"JR to bad pc {pc:#x} (index {index})")
-            elif op == Opcode.HALT:
-                self.halted = True
-            # NOP falls through.
-        return nxt, kind, addr, size
+        return self._code[index]()
 
     # ------------------------------------------------------------------
     # Public run modes.
@@ -254,14 +471,15 @@ class Interpreter:
         """Drive execution, yielding the index of each retired instruction."""
         limit = self.max_instructions if limit is None else limit
         index = 0
-        code_len = len(self._code)
+        code = self._code
+        code_len = len(code)
         while not self.halted:
             if self.instructions_executed >= limit:
                 break
             if not 0 <= index < code_len:
                 raise ExecutionError(f"fell off program at index {index}")
             current = index
-            index, _, _, _ = self._exec_one(current)
+            index = code[current]()[0]
             self.instructions_executed += 1
             yield current
 
@@ -269,26 +487,24 @@ class Interpreter:
         """Generate :class:`DynInstr` records for the timing models."""
         limit = self.max_instructions if limit is None else limit
         index = 0
-        code_len = len(self._code)
-        instructions = self.program.instructions
+        code = self._code
+        code_len = len(code)
+        meta = self._meta
         seq = 0
-        from .opcodes import CONDITIONAL_BRANCHES
 
         while not self.halted and seq < limit:
             if not 0 <= index < code_len:
                 raise ExecutionError(f"fell off program at index {index}")
-            instr = instructions[index]
-            pc = TEXT_BASE + index * INSTRUCTION_BYTES
+            pc, op_class, dest, srcs, is_cond = meta[index]
             previous = index
-            index, kind, addr, size = self._exec_one(index)
+            index, kind, addr, size = code[index]()
             self.instructions_executed += 1
-            is_cond = instr.op in CONDITIONAL_BRANCHES
             yield DynInstr(
                 seq,
                 pc,
-                int(OP_CLASS[instr.op]),
-                instr.destination(),
-                instr.sources(),
+                op_class,
+                dest,
+                srcs,
                 addr if kind else None,
                 size,
                 taken=is_cond and index != previous + 1,
@@ -300,12 +516,13 @@ class Interpreter:
         """Generate bare :class:`MemRef` records (cache-filter studies)."""
         limit = self.max_instructions if limit is None else limit
         index = 0
-        code_len = len(self._code)
+        code = self._code
+        code_len = len(code)
         while not self.halted and self.instructions_executed < limit:
             if not 0 <= index < code_len:
                 raise ExecutionError(f"fell off program at index {index}")
             pc = TEXT_BASE + index * INSTRUCTION_BYTES
-            index, kind, addr, size = self._exec_one(index)
+            index, kind, addr, size = code[index]()
             self.instructions_executed += 1
             if include_ifetch:
                 yield MemRef(IFETCH, pc, INSTRUCTION_BYTES, pc)

@@ -260,6 +260,10 @@ class SystemConfig:
     replicate_text: bool = True
     #: Maximum dynamically-simulated instructions before giving up.
     max_cycles: int = 200_000_000
+    #: Skip provably idle cycle ranges (identical results, less wall
+    #: clock).  Dense per-cycle ticking is used regardless whenever an
+    #: ``observer`` is installed.  Disable to force dense ticking.
+    fast_forward: bool = True
     #: Enable the Section 5.1 result-communication extension.
     result_communication: bool = False
     #: Broadcast transport: ``"bus"`` (the paper's evaluated transport),

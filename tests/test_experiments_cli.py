@@ -52,3 +52,14 @@ def test_main_list(capsys):
 def test_main_single_experiment(capsys):
     assert main(["figure1"]) == 0
     assert "Figure 1" in capsys.readouterr().out
+
+
+def test_main_profile_writes_pstats(tmp_path, capsys):
+    import pstats
+
+    path = tmp_path / "figure1.pstats"
+    assert main(["figure1", "--profile", str(path)]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+    assert path.exists()
+    stats = pstats.Stats(str(path))
+    assert stats.total_calls > 0

@@ -1,0 +1,102 @@
+"""Fast-forward must be invisible: bit-identical results vs. dense ticking.
+
+The scheduler in :mod:`repro.core.system` skips cycle ranges that are
+provably idle for every node and shares one functional interpreter
+across all nodes (:mod:`repro.isa.fanout`).  Neither is allowed to
+change a single reported number: these tests run the same workload with
+``fast_forward`` on and off — the off runs also forced back onto
+per-node interpreters, reproducing the original dense scheduler exactly
+— across every interconnect medium and node count, and compare full
+result snapshots.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import DataScalarSystem
+from repro.experiments.config import datascalar_config
+from repro.isa.interpreter import Interpreter
+from repro.workloads import build_program
+
+WORKLOADS = ["compress", "mgrid"]
+MEDIA = ["bus", "ring", "optical"]
+NODE_COUNTS = [1, 2, 4]
+LIMIT = 2_500
+
+
+class _DenseSystem(DataScalarSystem):
+    """The pre-optimization scheduler: one interpreter per node (the
+    ``_make_trace`` override disables the shared-trace fan-out) and, via
+    ``fast_forward=False`` in its config, dense per-cycle ticking."""
+
+    def _make_trace(self, program, node_id, limit):
+        return Interpreter(program).trace(limit=limit)
+
+
+def _snapshot(result):
+    """Every externally-visible number in a :class:`DataScalarResult`."""
+    nodes = []
+    for node in result.nodes:
+        stats = node.pipeline
+        pipeline = {
+            slot: getattr(stats, slot) for slot in stats.__slots__
+        }
+        node_fields = dataclasses.asdict(node)
+        node_fields["pipeline"] = pipeline
+        nodes.append(node_fields)
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "bus_transactions": result.bus_transactions,
+        "bus_payload_bytes": result.bus_payload_bytes,
+        "bus_utilization": result.bus_utilization,
+        "nodes": nodes,
+    }
+
+
+def _config(num_nodes, interconnect):
+    return dataclasses.replace(
+        datascalar_config(num_nodes=num_nodes), interconnect=interconnect)
+
+
+@pytest.mark.parametrize("interconnect", MEDIA)
+@pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fast_forward_matches_dense(workload, num_nodes, interconnect):
+    program = build_program(workload)
+
+    fast_cfg = _config(num_nodes, interconnect)
+    assert fast_cfg.fast_forward  # the default path under test
+    fast = DataScalarSystem(fast_cfg).run(program, limit=LIMIT)
+
+    dense_cfg = dataclasses.replace(fast_cfg, fast_forward=False)
+    dense = _DenseSystem(dense_cfg).run(program, limit=LIMIT)
+
+    assert _snapshot(fast) == _snapshot(dense)
+
+
+def test_observer_forces_dense_and_sees_every_cycle():
+    """An installed observer disables skipping: it must be called for
+    cycles 0..N-1 with no gaps, and the result still matches."""
+    program = build_program("compress")
+    config = _config(2, "bus")
+    seen = []
+    observed = DataScalarSystem(config).run(
+        program, limit=LIMIT,
+        observer=lambda cycle, pipelines, nodes, medium: seen.append(cycle))
+    assert seen == list(range(observed.cycles))
+    plain = DataScalarSystem(config).run(program, limit=LIMIT)
+    assert _snapshot(observed) == _snapshot(plain)
+
+
+def test_fast_forward_flag_disables_skipping():
+    """``fast_forward=False`` alone (shared fan-out still active) must
+    also be bit-identical — the two optimizations are independent."""
+    program = build_program("mgrid")
+    config = _config(4, "bus")
+    fast = DataScalarSystem(config).run(program, limit=LIMIT)
+    dense = DataScalarSystem(
+        dataclasses.replace(config, fast_forward=False)).run(
+            program, limit=LIMIT)
+    assert _snapshot(fast) == _snapshot(dense)
