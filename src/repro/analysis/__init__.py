@@ -3,12 +3,15 @@
 from .cost import CostModel
 from .export import rows_to_csv, rows_to_json, write_csv, write_json
 from .timeline import Timeline, TimelineRecorder, TimelineSample
-from .report import format_ipc, format_percent, format_table
+from .report import format_fault_summary, format_ipc, format_percent, \
+    format_table
 from .stats import (
+    Distribution,
     RunningMean,
     arithmetic_mean,
     geometric_mean,
     harmonic_mean,
+    percentile,
     speedup,
 )
 from .traffic import TABLE1_CACHE, TrafficReport, measure_esp_traffic
@@ -22,13 +25,16 @@ __all__ = [
     "Timeline",
     "TimelineRecorder",
     "TimelineSample",
+    "format_fault_summary",
     "format_ipc",
     "format_percent",
     "format_table",
+    "Distribution",
     "RunningMean",
     "arithmetic_mean",
     "geometric_mean",
     "harmonic_mean",
+    "percentile",
     "speedup",
     "TABLE1_CACHE",
     "TrafficReport",

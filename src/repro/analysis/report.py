@@ -55,6 +55,36 @@ def format_ipc(value: float) -> str:
     return f"{value:.2f}"
 
 
+def format_fault_summary(faults: dict) -> str:
+    """Render a ``DataScalarResult.extra['faults']`` snapshot.
+
+    One table of injected-fault counts against detection/recovery
+    accounting, plus the recovery-latency distribution — the graceful
+    degradation observables (see ``docs/protocol.md``, "Failure model
+    and recovery").
+    """
+    injected = faults["injected"]
+    recovery = faults["recovery"]
+    latency = recovery["latency"]
+    rows = [
+        ["broadcast drops", injected["broadcast_drops"]],
+        ["receiver drops", injected["receiver_drops"]],
+        ["corruptions", injected["corruptions"]],
+        ["jitter events", injected["jitter_events"]],
+        ["stalls", injected["stalls"]],
+        ["timeouts", recovery["timeouts"]],
+        ["nacks", recovery["nacks"]],
+        ["retransmit requests", recovery["requests"]],
+        ["retransmissions", recovery["retransmits"]],
+        ["recovered", recovery["recovered"]],
+        ["retry depth high-water", recovery["retry_high_water"]],
+        ["recovery latency p50/p95/max",
+         f"{latency['p50']:g}/{latency['p95']:g}/{latency['max']:g}"],
+    ]
+    return format_table(["event", "count"], rows,
+                        title=f"Fault injection (seed {faults['seed']})")
+
+
 def render_bars(labels, values, width: int = 40, title=None,
                 unit: str = "") -> str:
     """ASCII horizontal bar chart (the figures' visual form).

@@ -57,6 +57,59 @@ class RunningMean:
         return self.total / self.count if self.count else 0.0
 
 
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Distribution:
+    """A recorded sample set with mean/extrema/percentile queries.
+
+    Used for latency distributions (e.g. broadcast recovery latency in
+    :class:`repro.faults.RecoveryStats`) where the full shape — not just
+    the mean — is the observable of interest.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values = []
+
+    def add(self, value) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return arithmetic_mean(self.values)
+
+    @property
+    def maximum(self):
+        return max(self.values) if self.values else 0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def summary(self) -> dict:
+        """Scalar digest: count, mean, p50, p95, max."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.maximum,
+        }
+
+
 def speedup(baseline_cycles: float, improved_cycles: float) -> float:
     """Classic speedup: baseline time over improved time."""
     if improved_cycles <= 0:

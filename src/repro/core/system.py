@@ -110,6 +110,20 @@ class DataScalarSystem:
         """Build node ``node_id``'s dynamic stream (hook for subclasses)."""
         return Interpreter(program).trace(limit=limit)
 
+    def _make_medium(self):
+        """Build the broadcast transport, wrapped for fault injection
+        when ``config.faults`` is set (hook for tests that substitute a
+        deliberately broken medium)."""
+        config = self.config
+        medium = make_medium(config.interconnect, config.bus,
+                             config.num_nodes)
+        if config.faults is not None:
+            from ..faults import FaultyMedium
+
+            medium = FaultyMedium(medium, config.faults, config.num_nodes,
+                                  config.bus)
+        return medium
+
     def _make_traces(self, program, limit) -> "list":
         """One dynamic stream per node.
 
@@ -172,8 +186,7 @@ class DataScalarSystem:
             stack_bytes=stack_bytes,
         )
         page_table, layout_summary = build_page_table(program, spec)
-        medium = make_medium(config.interconnect, config.bus,
-                             config.num_nodes)
+        medium = self._make_medium()
         nodes: "list[DataScalarNode]" = []
 
         def deliver(src: int, line: int, arrivals) -> None:
@@ -200,6 +213,16 @@ class DataScalarSystem:
                                       traces[node_id],
                                       icache_line=config.node.icache.line_size))
 
+        # Fault mode arms the BSHR wait tripwire and teaches the
+        # idle-skip scheduler about medium-level recovery timers; with
+        # faults disabled neither hook exists and the loop is untouched.
+        faulted = config.faults is not None
+        extra_event = None
+        if faulted:
+            for node in nodes:
+                node.bshr.arm_timeout(config.faults.wait_deadline)
+            extra_event = self._fault_event_fn(nodes, medium)
+
         # Dense per-cycle ticking is required whenever an observer wants
         # to see every cycle; otherwise skip provably idle cycle ranges.
         fast_forward = config.fast_forward and observer is None
@@ -209,12 +232,15 @@ class DataScalarSystem:
                 raise SimulationError(
                     f"DataScalar run exceeded {config.max_cycles} cycles"
                 )
+            if faulted:
+                for node in nodes:
+                    node.bshr.check_timeouts(cycle)
             for pipeline in pipelines:
                 pipeline.tick(cycle)
             if observer is not None:
                 observer(cycle, pipelines, nodes, medium)
             if fast_forward:
-                cycle = self._advance(cycle, pipelines, config)
+                cycle = self._advance(cycle, pipelines, config, extra_event)
             else:
                 cycle += 1
 
@@ -222,14 +248,38 @@ class DataScalarSystem:
                              layout_summary)
 
     @staticmethod
-    def _advance(cycle: int, pipelines, config) -> int:
+    def _fault_event_fn(nodes, medium):
+        """Self-generated event bound for the fault layer: the earliest
+        outstanding recovery delivery or armed BSHR wait deadline.  The
+        idle-skip scheduler folds this in so a jump can never cross a
+        scheduled recovery action or overshoot the wait tripwire."""
+        medium_next = getattr(medium, "next_event", None)
+
+        def fault_event(now):
+            bound = None
+            if medium_next is not None:
+                bound = medium_next(now)
+            for node in nodes:
+                deadline = node.bshr.next_deadline()
+                if deadline is not None and (bound is None
+                                             or deadline < bound):
+                    bound = deadline
+            return bound
+
+        return fault_event
+
+    @staticmethod
+    def _advance(cycle: int, pipelines, config, extra_event=None) -> int:
         """Next cycle to simulate: ``cycle + 1``, or the earliest future
         event when every pipeline is provably idle until then.
 
         Skipped cycles are observationally idle for every node — no
         commit, issue, resolve, fetch, or interconnect activity can
         occur, only per-cycle stall counting, which
-        :meth:`Pipeline.note_skipped` replays exactly.
+        :meth:`Pipeline.note_skipped` replays exactly.  ``extra_event``
+        (fault mode) contributes pending recovery deliveries and BSHR
+        wait deadlines, so idle-skip never jumps past a scheduled
+        recovery action.
         """
         nxt = cycle + 1
         target = _INF
@@ -241,6 +291,13 @@ class DataScalarSystem:
                 return nxt
             if event < target:
                 target = event
+        if extra_event is not None:
+            event = extra_event(cycle)
+            if event is not None:
+                if event <= nxt:
+                    return nxt
+                if event < target:
+                    target = event
         if target is _INF:
             # No node has a self-generated event: the dense loop would
             # spin until a pipeline's deadlock detector fires (or the
@@ -289,6 +346,12 @@ class DataScalarSystem:
                 dropped_stores=node.dropped_stores,
             ))
         extra = {"unmapped_pages": page_table.unmapped_accesses}
+        if hasattr(medium, "fault_stats"):
+            # Fault-injected run: the medium's integrity ledger must
+            # balance (every sequenced broadcast delivered, every
+            # detected fault repaired) or the run is not trustworthy.
+            medium.validate_final_state()
+            extra["faults"] = medium.snapshot()
         l2_hits = sum(getattr(node, "l2_hits", 0) for node in nodes)
         l2_misses = sum(getattr(node, "l2_misses", 0) for node in nodes)
         if l2_hits or l2_misses:

@@ -312,7 +312,9 @@ class Pipeline:
         ticked cycle ``now`` (cross-node broadcasts resolve load handles
         during other nodes' ticks).  Returns ``inf`` when this pipeline
         has no self-generated event — it is waiting on another node.
-        The system loop takes the minimum across nodes; cycles before it
+        The system loop takes the minimum across nodes — folding in any
+        medium-level timers (the fault layer's pending recovery
+        deliveries and armed BSHR wait deadlines) — and cycles before it
         are observationally idle everywhere and may be skipped once
         :meth:`note_skipped` replays their stall accounting.
         """

@@ -29,6 +29,13 @@ from .figure8 import (
     run_figure8,
     run_panel,
 )
+from .resilience import (
+    DROP_PROBS,
+    ResiliencePoint,
+    fault_config_for,
+    format_resilience,
+    run_resilience,
+)
 from .scaling import NODE_COUNTS, ScalingPoint, format_scaling, \
     run_scaling
 from .scenarios import (
@@ -36,6 +43,7 @@ from .scenarios import (
     Scenario,
     ScenarioResult,
     cmp_scenario,
+    faulty_iram_scenario,
     iram_scenario,
     now_scenario,
     run_scenario,
@@ -70,6 +78,11 @@ __all__ = [
     "format_figure8",
     "run_figure8",
     "run_panel",
+    "DROP_PROBS",
+    "ResiliencePoint",
+    "fault_config_for",
+    "format_resilience",
+    "run_resilience",
     "NODE_COUNTS",
     "ScalingPoint",
     "format_scaling",
@@ -78,6 +91,7 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "cmp_scenario",
+    "faulty_iram_scenario",
     "iram_scenario",
     "now_scenario",
     "run_scenario",

@@ -18,6 +18,7 @@ from .figure1 import format_figure1, run_figure1
 from .figure3 import format_figure3, run_figure3
 from .figure7 import format_figure7, run_figure7
 from .figure8 import format_figure8, run_figure8
+from .resilience import DROP_PROBS, format_resilience, run_resilience
 from .scaling import format_scaling, run_scaling
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
@@ -37,6 +38,8 @@ EXPERIMENTS = {
                 True),
     "figure8": (lambda limit: run_figure8(limit=limit), format_figure8,
                 False),
+    "resilience": (lambda limit: run_resilience(limit=limit or 2500),
+                   format_resilience, True),
 }
 
 
@@ -57,12 +60,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", default=None, metavar="PATH",
                         help="run under cProfile and dump pstats data "
                              "to PATH (inspect with python -m pstats)")
+    parser.add_argument("--fault-seed", type=int, default=11,
+                        metavar="SEED",
+                        help="fault-injection RNG seed for the resilience "
+                             "experiment (same seed => identical fault "
+                             "schedule and result)")
+    parser.add_argument("--drop-prob", type=float, default=None,
+                        metavar="P",
+                        help="run the resilience experiment at this single "
+                             "per-receiver drop probability instead of the "
+                             "default sweep")
     return parser
 
 
-def run_one(name: str, limit, csv_path=None) -> str:
+def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
+            drop_prob=None) -> str:
     runner, formatter, exportable = EXPERIMENTS[name]
-    result = runner(limit)
+    if name == "resilience":
+        probs = DROP_PROBS if drop_prob is None else (0.0, drop_prob)
+        result = run_resilience(limit=limit or 2500, seeds=(fault_seed,),
+                                drop_probs=probs)
+    else:
+        result = runner(limit)
     if csv_path:
         if not exportable:
             raise SystemExit(f"{name} does not produce exportable rows")
@@ -87,7 +106,9 @@ def main(argv=None) -> int:
     try:
         for name in names:
             print(run_one(name, args.limit,
-                          args.csv if len(names) == 1 else None))
+                          args.csv if len(names) == 1 else None,
+                          fault_seed=args.fault_seed,
+                          drop_prob=args.drop_prob))
             print()
     finally:
         if profiler is not None:

@@ -83,11 +83,14 @@ def timing_bus_config(width_bytes: int = 8,
 
 def datascalar_config(num_nodes: int, node: NodeConfig = None,
                       bus: BusConfig = None,
-                      distribution_block_pages: int = 1) -> SystemConfig:
+                      distribution_block_pages: int = 1,
+                      faults=None) -> SystemConfig:
     """A DataScalar machine for the timing experiments.
 
     Figure 7's runs replicate no data pages and distribute everything
-    round-robin, so the default block is one page.
+    round-robin, so the default block is one page.  ``faults`` (a
+    :class:`repro.params.FaultConfig`) arms the unreliable-broadcast
+    layer; ``None`` keeps the transport perfect.
     """
     return SystemConfig(
         num_nodes=num_nodes,
@@ -95,6 +98,7 @@ def datascalar_config(num_nodes: int, node: NodeConfig = None,
         bus=bus or timing_bus_config(),
         distribution_block_pages=distribution_block_pages,
         replicate_text=True,
+        faults=faults,
     )
 
 

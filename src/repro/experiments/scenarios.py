@@ -17,11 +17,12 @@ vs. traditional trade-off.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..baseline.traditional import TraditionalSystem
 from ..core.system import DataScalarSystem
-from ..params import BusConfig, NodeConfig
+from ..params import BusConfig, FaultConfig, NodeConfig
 from .config import (
     datascalar_config,
     timing_bus_config,
@@ -32,12 +33,17 @@ from .config import (
 
 @dataclass(frozen=True)
 class Scenario:
-    """One technology point: a node template and a bus."""
+    """One technology point: a node template, a bus, and (optionally) an
+    unreliable transport."""
 
     name: str
     description: str
     node: NodeConfig
     bus: BusConfig
+    #: Fault injection for the DataScalar run (``None`` = perfect
+    #: transport; the traditional baseline is never faulted — its
+    #: request/response protocol is outside the ESP failure model).
+    faults: "FaultConfig | None" = None
 
 
 def iram_scenario() -> Scenario:
@@ -71,9 +77,34 @@ def now_scenario() -> Scenario:
     )
 
 
+def faulty_iram_scenario(seed: int = 11,
+                         drop_prob: float = 1e-3) -> Scenario:
+    """The IRAM platform on an unreliable broadcast transport.
+
+    Per-receiver drops at ``drop_prob`` with proportional corruption and
+    jitter — the named, seeded entry point for reproducible resilience
+    sweeps from the command line (``--fault-seed`` / ``--drop-prob``).
+    """
+    base = iram_scenario()
+    return Scenario(
+        name="faulty-iram",
+        description=("IRAM bus with seeded broadcast loss/corruption "
+                     "and ESP recovery"),
+        node=base.node,
+        bus=base.bus,
+        faults=FaultConfig(
+            seed=seed,
+            receiver_drop_prob=drop_prob,
+            corrupt_prob=drop_prob / 2,
+            jitter_prob=min(1.0, drop_prob * 2),
+        ),
+    )
+
+
 SCENARIOS = {
     scenario().name: scenario()
-    for scenario in (iram_scenario, cmp_scenario, now_scenario)
+    for scenario in (iram_scenario, cmp_scenario, now_scenario,
+                     faulty_iram_scenario)
 }
 
 
@@ -95,9 +126,11 @@ def run_scenario(scenario: Scenario, program, num_nodes: int = 2,
                  limit=None) -> ScenarioResult:
     """Run one workload on DataScalar and traditional machines built from
     ``scenario``'s technology parameters."""
-    ds = DataScalarSystem(datascalar_config(
-        num_nodes, node=scenario.node, bus=scenario.bus)).run(program,
-                                                              limit=limit)
+    ds_config = datascalar_config(num_nodes, node=scenario.node,
+                                  bus=scenario.bus)
+    if scenario.faults is not None:
+        ds_config = dataclasses.replace(ds_config, faults=scenario.faults)
+    ds = DataScalarSystem(ds_config).run(program, limit=limit)
     trad = TraditionalSystem(traditional_config(
         num_nodes, node=scenario.node, bus=scenario.bus)).run(program,
                                                               limit=limit)

@@ -1,0 +1,95 @@
+"""The deterministic fault schedule.
+
+A :class:`FaultPlan` is a seeded RNG consumed in broadcast order.  The
+simulator is fully deterministic, so broadcasts occur in the same order
+on every run of a configuration — including with fast-forward on or off,
+because skipped cycle ranges are provably free of interconnect activity.
+The draw sequence per broadcast is fixed (whole-drop, then per-receiver
+drop/corrupt/jitter in node-id order, then the stall pick, then one
+drop/corrupt pair per retransmit attempt), so the same
+``(FaultConfig, broadcast order)`` always yields the identical fault
+schedule — the reproducibility contract behind
+``DataScalarResult.extra["faults"]["seed"]``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..params import FaultConfig
+
+
+@dataclass
+class BroadcastFault:
+    """The plan's decisions for one broadcast."""
+
+    #: The whole broadcast was lost on the medium.
+    drop_all: bool = False
+    #: Receivers that individually lost the delivery.
+    dropped: "frozenset[int]" = frozenset()
+    #: Receivers whose payload arrives ECC-corrupt.
+    corrupted: "frozenset[int]" = frozenset()
+    #: Extra delivery delay per receiver.
+    jitter: dict = field(default_factory=dict)
+    #: Receiver whose port transiently stalls (``None`` for none).
+    stalled: "int | None" = None
+
+    def needs_recovery(self, node: int) -> bool:
+        return self.drop_all or node in self.dropped or node in self.corrupted
+
+
+class FaultPlan:
+    """Seeded per-broadcast fault decisions."""
+
+    def __init__(self, config: FaultConfig, num_nodes: int):
+        self.config = config
+        self.num_nodes = num_nodes
+        self._rng = random.Random(config.seed)
+
+    def for_broadcast(self, src: int) -> BroadcastFault:
+        """Draw the fault decisions for the next broadcast from ``src``."""
+        config = self.config
+        rng = self._rng
+        drop_all = config.drop_prob > 0 and rng.random() < config.drop_prob
+        dropped = set()
+        corrupted = set()
+        jitter = {}
+        for node in range(self.num_nodes):
+            if node == src:
+                continue
+            if config.receiver_drop_prob > 0 \
+                    and rng.random() < config.receiver_drop_prob:
+                dropped.add(node)
+            if config.corrupt_prob > 0 \
+                    and rng.random() < config.corrupt_prob:
+                corrupted.add(node)
+            if config.jitter_prob > 0 \
+                    and rng.random() < config.jitter_prob:
+                jitter[node] = rng.randint(1, config.max_jitter)
+        stalled = None
+        if config.stall_prob > 0 and rng.random() < config.stall_prob:
+            stalled = rng.randrange(self.num_nodes)
+        # A drop takes precedence over corruption of the same delivery.
+        corrupted -= dropped
+        return BroadcastFault(
+            drop_all=drop_all,
+            dropped=frozenset(dropped),
+            corrupted=frozenset(corrupted),
+            jitter=jitter,
+            stalled=stalled,
+        )
+
+    def retransmit_outcome(self) -> "tuple[bool, bool]":
+        """``(dropped, corrupted)`` for one retransmit attempt.
+
+        Retransmissions cross the same unreliable medium, so they fail
+        with the same per-receiver probabilities as primary deliveries.
+        """
+        config = self.config
+        rng = self._rng
+        fail_prob = max(config.drop_prob, config.receiver_drop_prob)
+        dropped = fail_prob > 0 and rng.random() < fail_prob
+        corrupted = (not dropped and config.corrupt_prob > 0
+                     and rng.random() < config.corrupt_prob)
+        return dropped, corrupted

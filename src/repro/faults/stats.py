@@ -1,0 +1,85 @@
+"""Counters for injected faults and the recovery protocol's work.
+
+``FaultStats`` counts what the seeded plan injected; ``RecoveryStats``
+counts what the protocol detected and repaired, plus the cost of the
+repair (recovery-only traffic, latency distribution, retry depth).  The
+two are reported side by side so a run makes degradation visible:
+``injected == detected == recovered`` on every completed run, and the
+recovery columns show what that guarantee cost.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import Distribution
+
+
+class FaultStats:
+    """What the fault plan injected, by category."""
+
+    __slots__ = ("broadcast_drops", "receiver_drops", "corruptions",
+                 "jitter_events", "jitter_cycles", "stalls")
+
+    def __init__(self):
+        self.broadcast_drops = 0   # whole broadcasts lost (per receiver)
+        self.receiver_drops = 0    # single-receiver losses
+        self.corruptions = 0       # ECC-detectable corrupt arrivals
+        self.jitter_events = 0
+        self.jitter_cycles = 0
+        self.stalls = 0            # transient receive-port stalls
+
+    @property
+    def injected(self) -> int:
+        """Deliveries that required recovery (drops + corruptions).
+
+        Jitter and stalls delay a delivery without losing it, so they
+        are injected faults but not recovery events.
+        """
+        return self.broadcast_drops + self.receiver_drops + self.corruptions
+
+    def snapshot(self) -> dict:
+        return {
+            "broadcast_drops": self.broadcast_drops,
+            "receiver_drops": self.receiver_drops,
+            "corruptions": self.corruptions,
+            "jitter_events": self.jitter_events,
+            "jitter_cycles": self.jitter_cycles,
+            "stalls": self.stalls,
+            "injected": self.injected,
+        }
+
+
+class RecoveryStats:
+    """What the recovery slow path detected, repaired, and cost."""
+
+    __slots__ = ("timeouts", "nacks", "requests", "retransmits",
+                 "recovered", "retry_high_water", "payload_bytes",
+                 "busy_cycles", "latency")
+
+    def __init__(self):
+        self.timeouts = 0        # losses detected by sequence-gap/timeout
+        self.nacks = 0           # corruptions detected by ECC
+        self.requests = 0        # retransmit requests sent (recovery-only)
+        self.retransmits = 0     # retransmissions sent by owners
+        self.recovered = 0       # deliveries successfully repaired
+        self.retry_high_water = 0
+        self.payload_bytes = 0   # recovery-only traffic
+        self.busy_cycles = 0     # recovery channel occupancy
+        self.latency = Distribution()  # delivery delay vs. fault-free
+
+    @property
+    def detected(self) -> int:
+        return self.timeouts + self.nacks
+
+    def snapshot(self) -> dict:
+        return {
+            "timeouts": self.timeouts,
+            "nacks": self.nacks,
+            "detected": self.detected,
+            "requests": self.requests,
+            "retransmits": self.retransmits,
+            "recovered": self.recovered,
+            "retry_high_water": self.retry_high_water,
+            "payload_bytes": self.payload_bytes,
+            "busy_cycles": self.busy_cycles,
+            "latency": self.latency.summary(),
+        }

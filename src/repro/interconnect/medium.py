@@ -14,6 +14,12 @@ Each medium implements ``broadcast(now, src, line, payload_bytes) ->
 arrivals`` where ``arrivals[i]`` is the cycle node ``i`` has the data
 (``None`` for the sender) — the DataScalar system feeds these straight
 into the receivers' BSHRs.
+
+Every medium here delivers perfectly.  Unreliable transport is layered
+on top: :class:`repro.faults.FaultyMedium` wraps any of these and
+injects seeded drops/corruption/jitter, returning *recovered* arrival
+cycles for faulted deliveries (see ``docs/protocol.md``, "Failure model
+and recovery").
 """
 
 from __future__ import annotations
@@ -42,6 +48,16 @@ class BroadcastMedium:
 
     def utilization(self, cycles: int) -> float:
         return 0.0
+
+    def next_event(self, now: int):
+        """Earliest medium-generated future event after ``now``, or
+        ``None``.  The perfect media materialize every delivery as an
+        absolute arrival cycle at broadcast time, so they never hold
+        deferred events; media with deferred actions (e.g. the fault
+        layer's recovery deliveries) override this so the idle-skip
+        scheduler cannot jump past them.
+        """
+        return None
 
 
 class BusMedium(BroadcastMedium):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from types import MappingProxyType
 
 
 class MessageKind(Enum):
@@ -22,6 +23,13 @@ class MessageKind(Enum):
     RESPONSE = "response"
     #: Traditional-system write-back of a dirty line to off-chip memory.
     WRITEBACK = "writeback"
+    #: Recovery-only NACK: a receiver rejects an ECC-corrupt broadcast.
+    NACK = "nack"
+    #: Recovery-only retransmit request (the ESP-forbidden request path,
+    #: permitted solely on the recovery slow path — see docs/protocol.md).
+    RETRANSMIT_REQUEST = "retransmit_request"
+    #: Recovery-only unicast retransmission of a lost/corrupt line.
+    RETRANSMIT = "retransmit"
 
 
 @dataclass(frozen=True)
@@ -35,11 +43,17 @@ class Message:
     #: Sequence tag distinguishing repeated broadcasts of one address.
     tag: int = 0
     #: Extra annotations (e.g. ``late=True`` for reparative broadcasts).
+    #: Snapshotted into a read-only mapping at construction: one Message
+    #: fans out to every receiver, so in-flight mutation (e.g. fault
+    #: metadata attached at one hop) would alias across receivers.
+    #: Excluded from compare/hash — annotations describe a transfer, they
+    #: do not identify it.
     meta: dict = field(default_factory=dict, compare=False, hash=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
             raise ValueError("payload_bytes must be >= 0")
+        object.__setattr__(self, "meta", MappingProxyType(dict(self.meta)))
 
     @property
     def is_data(self) -> bool:

@@ -216,6 +216,81 @@ class BSHRConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Seeded unreliable-broadcast injection and the recovery protocol.
+
+    ESP is request-free: a consumer *trusts* that the owner's broadcast
+    will arrive, so a lost or corrupted broadcast would deadlock every
+    non-owner.  This config drives :class:`repro.faults.FaultyMedium`,
+    which wraps any broadcast medium, deterministically injects faults
+    from a seeded RNG, and models the recovery slow path (sequence-gap
+    detection, NACKs, retransmit requests with bounded exponential
+    backoff).  All probabilities are evaluated per broadcast (or per
+    receiver per broadcast); the same seed and config always produce the
+    identical fault schedule.
+    """
+
+    #: RNG seed; recorded in ``DataScalarResult.extra["faults"]["seed"]``.
+    seed: int = 0
+    #: Probability the whole broadcast is lost on the medium (no receiver
+    #: gets it).
+    drop_prob: float = 0.0
+    #: Per-receiver probability of losing an otherwise-delivered
+    #: broadcast (e.g. a receive-queue overrun at one node).
+    receiver_drop_prob: float = 0.0
+    #: Per-receiver probability the payload arrives with an
+    #: ECC-detectable corruption (NACKed and retransmitted).
+    corrupt_prob: float = 0.0
+    #: Per-receiver probability of extra delivery jitter.
+    jitter_prob: float = 0.0
+    #: Maximum extra cycles of jitter (uniform in ``1..max_jitter``).
+    max_jitter: int = 16
+    #: Probability one receiver's port transiently stalls this broadcast.
+    stall_prob: float = 0.0
+    #: Extra cycles a stalled receiver's delivery is delayed.
+    stall_cycles: int = 32
+    #: Cycles past the due arrival before a receiver escalates a missing
+    #: broadcast (sequence-gap / BSHR-timeout detection bound) into an
+    #: explicit retransmit request — the recovery-only request path.
+    bshr_timeout: int = 64
+    #: Base backoff after a failed retransmit attempt, doubled (by
+    #: ``backoff_factor``) per attempt.
+    retry_backoff: int = 32
+    backoff_factor: int = 2
+    #: Failed retransmit attempts tolerated before the run dies with
+    #: :class:`repro.errors.RecoveryExhaustedError`.
+    max_retries: int = 8
+    #: Corrupted arrivals are NACKed and retransmitted; with this off an
+    #: ECC failure is fatal (:class:`repro.errors.CorruptionError`).
+    nack_enabled: bool = True
+    #: Cycles a BSHR wait may remain unfilled before the run aborts with
+    #: :class:`repro.errors.BroadcastLostError` (a tripwire for silent
+    #: delivery-contract violations; generous, so legitimate waits behind
+    #: a congested bus never trip it).
+    wait_deadline: int = 500_000
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "receiver_drop_prob", "corrupt_prob",
+                     "jitter_prob", "stall_prob"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.max_jitter >= 1, "max_jitter must be >= 1")
+        _require(self.stall_cycles >= 1, "stall_cycles must be >= 1")
+        _require(self.bshr_timeout >= 1, "bshr_timeout must be >= 1")
+        _require(self.retry_backoff >= 0, "retry_backoff must be >= 0")
+        _require(self.backoff_factor >= 1, "backoff_factor must be >= 1")
+        _require(self.max_retries >= 1, "max_retries must be >= 1")
+        _require(self.wait_deadline >= 1, "wait_deadline must be >= 1")
+
+    @property
+    def injects_anything(self) -> bool:
+        """True when any fault category can actually fire."""
+        return (self.drop_prob > 0 or self.receiver_drop_prob > 0
+                or self.corrupt_prob > 0 or self.jitter_prob > 0
+                or self.stall_prob > 0)
+
+
+@dataclass(frozen=True)
 class NodeConfig:
     """Everything on one DataScalar chip (Figure 5 datapath)."""
 
@@ -274,6 +349,10 @@ class SystemConfig:
     #: second level (the paper's footnote 4 alternative).  ``None``
     #: keeps the paper's L1-only scheme.
     l2: "CacheConfig | None" = None
+    #: Optional unreliable-broadcast injection (:class:`FaultConfig`).
+    #: ``None`` (the default) leaves the transport perfect and the
+    #: simulator bit-identical to a build without the fault layer.
+    faults: "FaultConfig | None" = None
 
     def __post_init__(self) -> None:
         _require(self.num_nodes >= 1, "num_nodes must be >= 1")

@@ -169,3 +169,50 @@ def test_format_table_alignment_and_title():
 def test_format_percent():
     assert format_percent(0.375) == "38%"
     assert format_percent(0.375, digits=1) == "37.5%"
+
+
+# ----------------------------------------------------------------------
+# Percentiles and distributions (recovery-latency reporting).
+# ----------------------------------------------------------------------
+def test_percentile_nearest_rank():
+    from repro.analysis import percentile
+    values = [10, 20, 30, 40, 50]
+    assert percentile(values, 0) == 10
+    assert percentile(values, 50) == 30
+    assert percentile(values, 95) == 50
+    assert percentile(values, 100) == 50
+    assert percentile([], 50) == 0.0
+
+
+def test_distribution_summary():
+    from repro.analysis import Distribution
+    dist = Distribution()
+    assert dist.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                              "p95": 0.0, "max": 0.0}
+    for value in (4, 8, 100):
+        dist.add(value)
+    summary = dist.summary()
+    assert summary["count"] == 3
+    assert summary["mean"] == pytest.approx(112 / 3)
+    assert summary["p50"] == 8
+    assert summary["max"] == 100
+
+
+def test_format_fault_summary():
+    from repro.analysis import format_fault_summary
+    faults = {
+        "seed": 11,
+        "injected": {"broadcast_drops": 1, "receiver_drops": 2,
+                     "corruptions": 3, "jitter_events": 4,
+                     "jitter_cycles": 9, "stalls": 5, "injected": 6},
+        "recovery": {"timeouts": 3, "nacks": 3, "requests": 7,
+                     "retransmits": 7, "recovered": 6,
+                     "retry_high_water": 2,
+                     "payload_bytes": 192, "busy_cycles": 300,
+                     "latency": {"count": 6, "mean": 40.0, "p50": 36,
+                                 "p95": 100, "max": 120}},
+    }
+    text = format_fault_summary(faults)
+    assert "seed 11" in text
+    assert "recovered" in text
+    assert "36/100/120" in text

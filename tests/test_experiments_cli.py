@@ -9,7 +9,7 @@ from repro.experiments.__main__ import EXPERIMENTS, build_parser, main, \
 def test_every_experiment_registered():
     assert set(EXPERIMENTS) == {
         "figure1", "figure3", "figure7", "figure8",
-        "table1", "table2", "table3", "scaling",
+        "table1", "table2", "table3", "scaling", "resilience",
     }
 
 
@@ -24,6 +24,23 @@ def test_parser_accepts_all_and_list():
 def test_parser_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure99"])
+
+
+def test_parser_accepts_fault_flags():
+    args = build_parser().parse_args(
+        ["resilience", "--fault-seed", "3", "--drop-prob", "1e-3"])
+    assert args.fault_seed == 3
+    assert args.drop_prob == pytest.approx(1e-3)
+
+
+def test_run_one_resilience_single_point(tmp_path):
+    csv_path = tmp_path / "res.csv"
+    text = run_one("resilience", limit=800, csv_path=str(csv_path),
+                   fault_seed=5, drop_prob=1e-3)
+    assert "Resilience" in text
+    lines = csv_path.read_text().strip().splitlines()
+    assert lines[0].startswith("workload,")
+    assert len(lines) == 3  # header + fault-free anchor + one faulty point
 
 
 def test_run_one_figure1():

@@ -90,6 +90,29 @@ def test_observer_forces_dense_and_sees_every_cycle():
     assert _snapshot(observed) == _snapshot(plain)
 
 
+@pytest.mark.parametrize("interconnect", ["bus", "ring"])
+def test_fast_forward_matches_dense_under_faults(interconnect):
+    """The faulty medium adds pending recovery timers and BSHR wait
+    deadlines; ``next_event`` must fold them in so skipping stays
+    invisible — including the seeded fault schedule itself."""
+    from repro.params import FaultConfig
+
+    program = build_program("compress")
+    faults = FaultConfig(seed=17, receiver_drop_prob=1e-2,
+                         corrupt_prob=5e-3, jitter_prob=2e-2,
+                         stall_prob=5e-3)
+    fast_cfg = dataclasses.replace(_config(4, interconnect), faults=faults)
+    assert fast_cfg.fast_forward
+    fast = DataScalarSystem(fast_cfg).run(program, limit=LIMIT)
+
+    dense_cfg = dataclasses.replace(fast_cfg, fast_forward=False)
+    dense = _DenseSystem(dense_cfg).run(program, limit=LIMIT)
+
+    assert _snapshot(fast) == _snapshot(dense)
+    assert fast.extra["faults"] == dense.extra["faults"]
+    assert fast.extra["faults"]["recovery"]["recovered"] > 0
+
+
 def test_fast_forward_flag_disables_skipping():
     """``fast_forward=False`` alone (shared fan-out still active) must
     also be bit-identical — the two optimizations are independent."""

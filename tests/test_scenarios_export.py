@@ -25,8 +25,12 @@ from repro.workloads import build_program
 # ----------------------------------------------------------------------
 # Scenarios.
 # ----------------------------------------------------------------------
-def test_three_scenarios_registered():
-    assert set(SCENARIOS) == {"iram", "cmp", "now"}
+def test_scenarios_registered():
+    assert set(SCENARIOS) == {"iram", "cmp", "now", "faulty-iram"}
+    # Only the explicitly-faulty scenario carries a fault plan.
+    assert all(SCENARIOS[name].faults is None
+               for name in ("iram", "cmp", "now"))
+    assert SCENARIOS["faulty-iram"].faults is not None
 
 
 def test_scenario_parameters_are_ordered_by_integration():
@@ -42,7 +46,7 @@ def test_run_scenarios_cmp_fastest():
     program = build_program("compress")
     results = {r.scenario: r
                for r in run_scenarios(program, num_nodes=2, limit=5000)}
-    assert set(results) == {"iram", "cmp", "now"}
+    assert set(results) == {"iram", "cmp", "now", "faulty-iram"}
     assert results["cmp"].datascalar_ipc > results["iram"].datascalar_ipc
     assert results["iram"].datascalar_ipc > results["now"].datascalar_ipc
 
