@@ -34,8 +34,9 @@ NUM_NODES = 4
 CYCLES_PER_BUS_CYCLE = 16
 #: Minimum speedup the optimized scheduler must deliver here.  Measured
 #: ~2.2x (see BENCH_simperf.json); asserted with headroom for machine
-#: variance.
-MIN_SPEEDUP = 1.4
+#: variance.  ``REPRO_MIN_SPEEDUP`` overrides the floor (CI's bench
+#: smoke job raises it to 1.5).
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "1.4"))
 
 
 class _DenseSystem(DataScalarSystem):

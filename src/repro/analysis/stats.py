@@ -1,8 +1,16 @@
-"""Small statistics helpers used across analyses and experiments."""
+"""Small statistics helpers used across analyses and experiments.
+
+The sample-set machinery (:class:`Distribution`, :func:`percentile`)
+is backed by :mod:`repro.obs.metrics` — one nearest-rank implementation
+serves this module, the metrics registry, and every report built on
+either.
+"""
 
 from __future__ import annotations
 
 import math
+
+from ..obs.metrics import Histogram, nearest_rank_percentile
 
 
 def arithmetic_mean(values) -> float:
@@ -59,55 +67,21 @@ class RunningMean:
 
 def percentile(values, q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
-    if not 0 <= q <= 100:
-        raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    return nearest_rank_percentile(values, q)
 
 
-class Distribution:
+class Distribution(Histogram):
     """A recorded sample set with mean/extrema/percentile queries.
 
     Used for latency distributions (e.g. broadcast recovery latency in
     :class:`repro.faults.RecoveryStats`) where the full shape — not just
-    the mean — is the observable of interest.
+    the mean — is the observable of interest.  Since the metrics
+    registry this is the legacy name for
+    :class:`repro.obs.metrics.Histogram` (identical behaviour, so a
+    ``Distribution`` can live inside a registry and vice versa).
     """
 
-    __slots__ = ("values",)
-
-    def __init__(self):
-        self.values = []
-
-    def add(self, value) -> None:
-        self.values.append(value)
-
-    @property
-    def count(self) -> int:
-        return len(self.values)
-
-    @property
-    def mean(self) -> float:
-        return arithmetic_mean(self.values)
-
-    @property
-    def maximum(self):
-        return max(self.values) if self.values else 0
-
-    def percentile(self, q: float) -> float:
-        return percentile(self.values, q)
-
-    def summary(self) -> dict:
-        """Scalar digest: count, mean, p50, p95, max."""
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "max": self.maximum,
-        }
+    __slots__ = ()
 
 
 def speedup(baseline_cycles: float, improved_cycles: float) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..interconnect.medium import BroadcastMedium
 from ..interconnect.queueing import LatencyQueue
+from ..obs.events import EventKind
 
 
 class BroadcastStats:
@@ -43,6 +44,11 @@ class Broadcaster:
         self._deliver = deliver
         self.num_peers = num_peers
         self.stats = BroadcastStats()
+        self._tracer = None  # observability hook (None = untraced)
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit BCAST_SEND events to ``tracer`` as this node."""
+        self._tracer = tracer
 
     def broadcast(self, now: int, line: int, late: bool = False) -> int:
         """Send ``line`` to all other nodes starting at ``now`` (the cycle
@@ -56,5 +62,11 @@ class Broadcaster:
         self.stats.payload_bytes += self.line_size
         if late:
             self.stats.late += 1
+        if self._tracer is not None:
+            # Emitted before delivery so each send immediately precedes
+            # its arrivals in the stream (the Chrome exporter pairs
+            # send -> arrival flow arrows by that ordering).
+            self._tracer.emit(EventKind.BCAST_SEND, queued, self.node_id,
+                              line=line, late=late, seq=self.stats.sent)
         self._deliver(self.node_id, line, arrivals)
         return max(a for a in arrivals if a is not None)

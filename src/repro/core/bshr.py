@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import BroadcastLostError, ProtocolError
+from ..obs.events import EventKind
 from ..params import BSHRConfig
 
 _INF = float("inf")
@@ -65,6 +66,13 @@ class BSHRFile:
         self._timeout = None
         self._deadlines: "dict[object, int]" = {}  # waiting handle -> cycle
         self._deadline_floor = _INF  # lower bound on the earliest deadline
+        self._tracer = None  # observability hook (None = untraced)
+        self._trace_node = 0
+
+    def attach_tracer(self, tracer, node_id: int) -> None:
+        """Emit this BSHR's events to ``tracer`` as node ``node_id``."""
+        self._tracer = tracer
+        self._trace_node = node_id
 
     # ------------------------------------------------------------------
     # Processor side.
@@ -86,9 +94,15 @@ class BSHRFile:
                 self.stats.found_in_bshr += 1
             else:
                 self.stats.waits += 1
+            if self._tracer is not None:
+                self._tracer.emit(EventKind.BSHR_FILL, now, self._trace_node,
+                                  line=line, found=handle.found_in_bshr)
             handle.complete(ready)
             return
         self.stats.waits += 1
+        if self._tracer is not None:
+            self._tracer.emit(EventKind.BSHR_ALLOC, now, self._trace_node,
+                              line=line)
         self._waiting.setdefault(line, deque()).append(handle)
         if self._timeout is not None:
             deadline = now + self._timeout
@@ -123,6 +137,9 @@ class BSHRFile:
             else:
                 self._discards[line] = discards - 1
             self.stats.squashes += 1
+            if self._tracer is not None:
+                self._tracer.emit(EventKind.BCAST_CONSUME, time,
+                                  self._trace_node, line=line, squashed=True)
             return
         waiting = self._waiting.get(line)
         if waiting:
@@ -132,6 +149,9 @@ class BSHRFile:
             if self._deadlines:
                 self._deadlines.pop(handle, None)
             ready = max(time, handle.issued_at) + self.config.access_latency
+            if self._tracer is not None:
+                self._tracer.emit(EventKind.BCAST_CONSUME, time,
+                                  self._trace_node, line=line, squashed=False)
             handle.complete(ready)
             return
         self._arrived.setdefault(line, deque()).append(time)
@@ -181,6 +201,9 @@ class BSHRFile:
                    if deadline <= now}
         lines = sorted({hex(line) for line, queue in self._waiting.items()
                         if any(h in expired for h in queue)})
+        if self._tracer is not None:
+            self._tracer.emit(EventKind.BSHR_TIMEOUT, now, self._trace_node,
+                              lines=lines)
         raise BroadcastLostError(
             f"{self.name}: loads waiting for lines {lines} exceeded the "
             f"{self._timeout}-cycle recovery budget at cycle {now} — the "

@@ -17,6 +17,7 @@ drain lines from here into the cache.
 from __future__ import annotations
 
 from ..errors import ProtocolError
+from ..obs.events import EventKind
 
 
 class DCUBEntry:
@@ -49,6 +50,13 @@ class DCUB:
         self.allocations = 0
         self.merges = 0
         self.high_water = 0
+        self._tracer = None  # observability hook (None = untraced)
+        self._trace_node = 0
+
+    def attach_tracer(self, tracer, node_id: int) -> None:
+        """Emit this DCUB's events to ``tracer`` as node ``node_id``."""
+        self._tracer = tracer
+        self._trace_node = node_id
 
     def lookup(self, line: int):
         return self._entries.get(line)
@@ -61,6 +69,9 @@ class DCUB:
         entry.refs = 1
         self._entries[line] = entry
         self.allocations += 1
+        if self._tracer is not None:
+            self._tracer.emit(EventKind.DCUB_STAGE, now, self._trace_node,
+                              line=line)
         if len(self._entries) > self.high_water:
             self.high_water = len(self._entries)
         return entry

@@ -21,6 +21,7 @@ from ..cpu.interface import LoadHandle, MemoryInterface
 from ..memory.cache import Cache
 from ..memory.mainmem import BankedMemory
 from ..memory.page_table import PageTable
+from ..obs.events import EventKind
 from ..params import CacheConfig, NodeConfig
 from .bshr import BSHRFile
 from .broadcast import Broadcaster
@@ -61,6 +62,14 @@ class DataScalarL2Node(MemoryInterface):
         self.local_loads = 0
         self.dropped_stores = 0
         self.local_stores = 0
+        self._tracer = None  # observability hook (None = untraced)
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit this node's (and its subsystems') events to ``tracer``."""
+        self._tracer = tracer
+        self.bshr.attach_tracer(tracer, self.node_id)
+        self.dcub.attach_tracer(tracer, self.node_id)
+        self.broadcaster.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Issue side.
@@ -112,10 +121,18 @@ class DataScalarL2Node(MemoryInterface):
         line = self.dcache.line_addr(addr)
         l1_canonical_hit = self.dcache.lookup(addr)
         result = self.dcache.commit_access(addr, is_write=is_store)
+        if self._tracer is not None:
+            self._tracer.emit(EventKind.CACHE_COMMIT, now, self.node_id,
+                              line=line, store=is_store,
+                              hit=l1_canonical_hit, filled=result.filled,
+                              evicted=result.evicted)
         if result.writeback is not None:
             self._spill_to_l2(now, result.writeback)
         if handle is not None and handle.dcub_line is not None:
-            self.dcub.release(handle.dcub_line)
+            if self.dcub.release(handle.dcub_line) \
+                    and self._tracer is not None:
+                self._tracer.emit(EventKind.DCUB_APPLY, now, self.node_id,
+                                  line=handle.dcub_line)
         if not is_store and handle is not None \
                 and handle.issue_hit is not None:
             self.tracker.classify(handle.issue_hit, l1_canonical_hit)
@@ -136,10 +153,18 @@ class DataScalarL2Node(MemoryInterface):
             return
         if pte.owner == self.node_id:
             if self.tracker.settle_canonical_miss_owner(line):
+                if self._tracer is not None:
+                    self._tracer.emit(EventKind.FALSE_HIT_REPAIR, now,
+                                      self.node_id, line=line,
+                                      action="late-broadcast")
                 available = self.local_mem.access(now, line)
                 self.broadcaster.broadcast(available, line, late=True)
         else:
             if self.tracker.settle_canonical_miss_nonowner(line):
+                if self._tracer is not None:
+                    self._tracer.emit(EventKind.FALSE_HIT_REPAIR, now,
+                                      self.node_id, line=line,
+                                      action="discard")
                 self.bshr.schedule_discard(line)
 
     def _spill_to_l2(self, now: int, line: int) -> None:

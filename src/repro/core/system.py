@@ -20,6 +20,7 @@ from ..interconnect.medium import make_medium
 from ..isa.fanout import fan_out
 from ..isa.interpreter import Interpreter
 from ..memory.layout import LayoutSpec, build_page_table
+from ..obs.events import EventKind
 from ..params import SystemConfig
 
 _INF = float("inf")
@@ -141,14 +142,19 @@ class DataScalarSystem:
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024,
-            observer=None) -> DataScalarResult:
+            observer=None, tracer=None) -> DataScalarResult:
         """Simulate ``program`` across all nodes to completion.
 
         ``replicated_pages`` are page numbers to replicate statically in
         addition to the text segment; ``limit`` bounds the dynamic
         instruction count per node (all nodes see the same prefix);
         ``observer(cycle, pipelines, nodes, medium)`` is called every
-        simulated cycle (see :class:`repro.analysis.timeline`).
+        simulated cycle (see :class:`repro.analysis.timeline`);
+        ``tracer`` (a :class:`repro.obs.Tracer`) receives structured
+        events from every subsystem — tracing is purely observational,
+        so results are bit-identical with it on or off, fast-forward
+        included (the tracer's own ``next_event`` bound is folded into
+        :meth:`_advance` exactly like the fault layer's).
 
         With ``config.result_communication`` set, private regions are
         auto-detected and the run delegates to
@@ -176,7 +182,7 @@ class DataScalarSystem:
             regions = select_exec_regions(program, table, limit=limit)
             return ResultCommSystem(plain, regions).run(
                 program, replicated_pages=replicated_pages, limit=limit,
-                stack_bytes=stack_bytes, observer=observer)
+                stack_bytes=stack_bytes, observer=observer, tracer=tracer)
         spec = LayoutSpec(
             num_nodes=config.num_nodes,
             page_size=config.node.memory.page_size,
@@ -195,6 +201,17 @@ class DataScalarSystem:
                 if arrival is not None:
                     node.bshr.arrival(arrival, line)
 
+        if tracer is not None:
+            plain_deliver = deliver
+
+            def deliver(src: int, line: int, arrivals) -> None:
+                for node in nodes:
+                    arrival = arrivals[node.node_id]
+                    if arrival is not None:
+                        tracer.emit(EventKind.BCAST_ARRIVE, arrival,
+                                    node.node_id, src=src, line=line)
+                plain_deliver(src, line, arrivals)
+
         pipelines = []
         traces = self._make_traces(program, limit)
         for node_id in range(config.num_nodes):
@@ -212,6 +229,11 @@ class DataScalarSystem:
             pipelines.append(Pipeline(config.node.cpu, node,
                                       traces[node_id],
                                       icache_line=config.node.icache.line_size))
+            if tracer is not None:
+                pipelines[-1].attach_tracer(tracer, node_id)
+                node.attach_tracer(tracer)
+        if tracer is not None and hasattr(medium, "attach_tracer"):
+            medium.attach_tracer(tracer)
 
         # Fault mode arms the BSHR wait tripwire and teaches the
         # idle-skip scheduler about medium-level recovery timers; with
@@ -222,6 +244,15 @@ class DataScalarSystem:
             for node in nodes:
                 node.bshr.arm_timeout(config.faults.wait_deadline)
             extra_event = self._fault_event_fn(nodes, medium)
+        if tracer is not None:
+            # A sampling tracer bounds idle-skip to its sample cycles;
+            # a plain recording tracer returns None and leaves the skip
+            # targets untouched — either way results stay bit-identical
+            # because skipped and ticked idle cycles are observationally
+            # identical.
+            extra_event = self._chain_events(extra_event,
+                                             getattr(tracer, "next_event",
+                                                     None))
 
         # Dense per-cycle ticking is required whenever an observer wants
         # to see every cycle; otherwise skip provably idle cycle ranges.
@@ -246,6 +277,27 @@ class DataScalarSystem:
 
         return self._collect(cycle, pipelines, nodes, medium, page_table,
                              layout_summary)
+
+    @staticmethod
+    def _chain_events(first, second):
+        """Combine two optional ``f(now) -> cycle | None`` event bounds
+        into their minimum (for folding a tracer's ``next_event`` into
+        the idle-skip scheduler alongside the fault layer's)."""
+        if second is None:
+            return first
+        if first is None:
+            return second
+
+        def chained(now):
+            a = first(now)
+            b = second(now)
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return chained
 
     @staticmethod
     def _fault_event_fn(nodes, medium):
@@ -283,14 +335,21 @@ class DataScalarSystem:
         """
         nxt = cycle + 1
         target = _INF
+        active = False
         for pipeline in pipelines:
             if pipeline.done:
                 continue
+            active = True
             event = pipeline.next_event(cycle)
             if event <= nxt:
                 return nxt
             if event < target:
                 target = event
+        if not active:
+            # Everything finished this cycle: the run's cycle count must
+            # not be inflated by extra_event bounds (e.g. a sampling
+            # tracer's next wake-up) that lie past completion.
+            return nxt
         if extra_event is not None:
             event = extra_event(cycle)
             if event is not None:
@@ -303,11 +362,8 @@ class DataScalarSystem:
             # spin until a pipeline's deadlock detector fires (or the
             # cycle budget runs out) — jump straight to that tick so the
             # same error surfaces at the same cycle.
-            pending = [p._last_commit_cycle + DEADLOCK_CYCLES + 1
-                       for p in pipelines if not p.done]
-            if not pending:  # everything finished this cycle
-                return nxt
-            target = min(pending)
+            target = min(p._last_commit_cycle + DEADLOCK_CYCLES + 1
+                         for p in pipelines if not p.done)
         if target > config.max_cycles:
             target = config.max_cycles
         if target <= nxt:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..errors import SimulationError
 from ..isa.opcodes import OpClass
+from ..obs.events import EventKind
 from ..params import CPUConfig
 from .func_units import FUPool
 from .interface import MemoryInterface
@@ -76,6 +77,17 @@ class Pipeline:
         self._predictor = self._build_predictor(config.branch_predictor)
         self._redirect_after = None  # branch entry fetch is waiting on
         self.done = False
+        #: Observability hook (``None`` = untraced: zero overhead).
+        self._tracer = None
+        self._trace_node = 0
+
+    def attach_tracer(self, tracer, node_id: int) -> None:
+        """Emit this pipeline's events to ``tracer`` as node ``node_id``.
+
+        Tracing is purely observational: no architectural state or
+        reported statistic changes, with fast-forward on or off."""
+        self._tracer = tracer
+        self._trace_node = node_id
 
     @staticmethod
     def _build_predictor(kind: str):
@@ -121,6 +133,7 @@ class Pipeline:
     # Commit stage.
     # ------------------------------------------------------------------
     def _commit(self, now: int) -> None:
+        tracer = self._tracer
         for _ in range(self.config.commit_width):
             head = self.ruu.head()
             if head is None:
@@ -129,6 +142,9 @@ class Pipeline:
                 break
             if head.result_time is None or head.result_time > now:
                 break
+            if tracer is not None:
+                tracer.emit(EventKind.COMMIT, now, self._trace_node,
+                            seq=head.seq, op=head.op_class)
             if head.is_mem:
                 if not head.private:
                     self.mem.commit_mem(now, head.addr, head.size,
@@ -248,6 +264,8 @@ class Pipeline:
             resolve = self._redirect_after.result_time
             if resolve is None or resolve > now:
                 self.stats.fetch_stalls += 1
+                if self._tracer is not None:
+                    self._trace_stall(now, "redirect")
                 return
             self._fetch_ready = max(
                 self._fetch_ready,
@@ -257,6 +275,8 @@ class Pipeline:
         if self._trace_done or now < self._fetch_ready:
             if not self._trace_done:
                 self.stats.fetch_stalls += 1
+                if self._tracer is not None:
+                    self._trace_stall(now, "fetch")
             return
         for _ in range(self.config.fetch_width):
             dyn = self._peek_trace()
@@ -264,9 +284,13 @@ class Pipeline:
                 return
             if self.ruu.is_full():
                 self.stats.window_stalls += 1
+                if self._tracer is not None:
+                    self._trace_stall(now, "window")
                 return
             if dyn.op_class in (_LOAD, _STORE) and self.lsq.is_full():
                 self.stats.lsq_stalls += 1
+                if self._tracer is not None:
+                    self._trace_stall(now, "lsq")
                 return
             line = dyn.pc & self._icache_line_mask
             if line != self._fetched_line:
@@ -289,6 +313,15 @@ class Pipeline:
                     self.stats.mispredicts += 1
                     self._redirect_after = entry
                     return
+
+    def _trace_stall(self, now: int, cause: str, cycles: int = 1) -> None:
+        """Emit one fetch-stall episode (callers guard on the tracer).
+
+        Dense ticking emits one-cycle events; :meth:`note_skipped` emits
+        a single aggregated event per skipped range — the *totals* match
+        the stall counters exactly either way."""
+        self._tracer.emit(EventKind.ISSUE_STALL, now, self._trace_node,
+                          cause=cause, cycles=cycles)
 
     def _peek_trace(self):
         if self._fetch_buffer is None and not self._trace_done:
@@ -376,19 +409,27 @@ class Pipeline:
         stats = self.stats
         if self._redirect_after is not None:
             stats.fetch_stalls += cycles
+            if self._tracer is not None:
+                self._trace_stall(start, "redirect", cycles)
             return
         if self._trace_done:
             return
         if start < self._fetch_ready:
             stats.fetch_stalls += cycles
+            if self._tracer is not None:
+                self._trace_stall(start, "fetch", cycles)
             return
         if self.ruu.is_full():
             stats.window_stalls += cycles
+            if self._tracer is not None:
+                self._trace_stall(start, "window", cycles)
             return
         dyn = self._peek_trace()
         if dyn is not None and dyn.op_class in (_LOAD, _STORE) \
                 and self.lsq.is_full():
             stats.lsq_stalls += cycles
+            if self._tracer is not None:
+                self._trace_stall(start, "lsq", cycles)
 
     # ------------------------------------------------------------------
     # Whole-program convenience for single-core systems.

@@ -23,6 +23,7 @@ from .scaling import format_scaling, run_scaling
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
 from .table3 import format_table3, run_table3
+from .traced import format_traced, run_traced
 
 #: name -> (runner(limit), formatter, exportable-rows?)
 EXPERIMENTS = {
@@ -40,6 +41,8 @@ EXPERIMENTS = {
                 False),
     "resilience": (lambda limit: run_resilience(limit=limit or 2500),
                    format_resilience, True),
+    "traced-run": (lambda limit: run_traced(limit=limit or 2500),
+                   format_traced, False),
 }
 
 
@@ -70,16 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the resilience experiment at this single "
                              "per-receiver drop probability instead of the "
                              "default sweep")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="traced-run only: write the event stream to "
+                             "PATH — Chrome trace_event JSON (open in "
+                             "Perfetto), or JSONL when PATH ends in .jsonl")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="traced-run only: write the metrics report "
+                             "to PATH as text")
     return parser
 
 
 def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
-            drop_prob=None) -> str:
+            drop_prob=None, trace_out=None, metrics_out=None) -> str:
     runner, formatter, exportable = EXPERIMENTS[name]
     if name == "resilience":
         probs = DROP_PROBS if drop_prob is None else (0.0, drop_prob)
         result = run_resilience(limit=limit or 2500, seeds=(fault_seed,),
                                 drop_probs=probs)
+    elif name == "traced-run":
+        result = run_traced(limit=limit or 2500, trace_out=trace_out,
+                            metrics_out=metrics_out)
     else:
         result = runner(limit)
     if csv_path:
@@ -108,7 +121,9 @@ def main(argv=None) -> int:
             print(run_one(name, args.limit,
                           args.csv if len(names) == 1 else None,
                           fault_seed=args.fault_seed,
-                          drop_prob=args.drop_prob))
+                          drop_prob=args.drop_prob,
+                          trace_out=args.trace_out,
+                          metrics_out=args.metrics_out))
             print()
     finally:
         if profiler is not None:

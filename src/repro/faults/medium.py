@@ -44,6 +44,8 @@ import heapq
 
 from ..errors import CorruptionError, ProtocolError, RecoveryExhaustedError
 from ..interconnect.medium import BroadcastMedium
+from ..obs.events import EventKind
+from ..obs.metrics import MetricsRegistry
 from ..params import BusConfig, FaultConfig
 from .plan import FaultPlan
 from .stats import FaultStats, RecoveryStats
@@ -59,8 +61,12 @@ class FaultyMedium(BroadcastMedium):
         self.num_nodes = num_nodes
         self.bus = bus
         self.plan = FaultPlan(config, num_nodes)
-        self.fault_stats = FaultStats()
-        self.recovery_stats = RecoveryStats()
+        #: One registry backs both ledgers (``faults.injected.*`` and
+        #: ``faults.recovery.*``), so a single metrics export covers
+        #: the whole fault story.
+        self.metrics = MetricsRegistry()
+        self.fault_stats = FaultStats(self.metrics)
+        self.recovery_stats = RecoveryStats(self.metrics)
         #: Outstanding recovery delivery cycles (min-heap).
         self._pending = []
         #: Per-owner broadcast sequence numbers.
@@ -73,6 +79,12 @@ class FaultyMedium(BroadcastMedium):
         # the network-interface queue.
         self._request_cycles = bus.interface_latency + bus.transfer_cycles(0)
 
+    def attach_tracer(self, tracer) -> None:
+        """Trace fault/recovery events here and transfers in the wrapped
+        medium (node = affected receiver for injected faults)."""
+        self.tracer = tracer
+        self.inner.attach_tracer(tracer)
+
     # ------------------------------------------------------------------
     # BroadcastMedium interface.
     # ------------------------------------------------------------------
@@ -81,6 +93,7 @@ class FaultyMedium(BroadcastMedium):
         self._seq[src] += 1
         fault = self.plan.for_broadcast(src)
         stats = self.fault_stats
+        tracer = self.tracer
         for node in range(self.num_nodes):
             if node == src or arrivals[node] is None:
                 continue
@@ -88,20 +101,33 @@ class FaultyMedium(BroadcastMedium):
             if fault.stalled == node:
                 stats.stalls += 1
                 due += self.config.stall_cycles
+                if tracer is not None:
+                    tracer.emit(EventKind.FAULT_INJECT, now, node,
+                                fault="stall", src=src, line=line)
             extra = fault.jitter.get(node)
             if extra is not None:
                 stats.jitter_events += 1
                 stats.jitter_cycles += extra
                 due += extra
+                if tracer is not None:
+                    tracer.emit(EventKind.FAULT_INJECT, now, node,
+                                fault="jitter", src=src, line=line,
+                                cycles=extra)
             if fault.drop_all or node in fault.dropped:
                 if fault.drop_all:
                     stats.broadcast_drops += 1
                 else:
                     stats.receiver_drops += 1
+                if tracer is not None:
+                    tracer.emit(EventKind.FAULT_INJECT, now, node,
+                                fault="drop", src=src, line=line)
                 due = self._recover(due, src, node, line, payload_bytes,
                                     corrupt=False)
             elif node in fault.corrupted:
                 stats.corruptions += 1
+                if tracer is not None:
+                    tracer.emit(EventKind.FAULT_INJECT, now, node,
+                                fault="corrupt", src=src, line=line)
                 due = self._recover(due, src, node, line, payload_bytes,
                                     corrupt=True)
             arrivals[node] = due
@@ -165,6 +191,10 @@ class FaultyMedium(BroadcastMedium):
                 recovery.recovered += 1
                 recovery.latency.add(arrived - due)
                 heapq.heappush(self._pending, arrived)
+                if self.tracer is not None:
+                    self.tracer.emit(EventKind.FAULT_RECOVER, arrived, dst,
+                                     src=src, line=line,
+                                     latency=arrived - due, attempts=depth)
                 return arrived
             # A failed attempt is visible as retransmits - recovered; a
             # corrupted retransmission is NACKed immediately (no new

@@ -6,26 +6,54 @@ repair (recovery-only traffic, latency distribution, retry depth).  The
 two are reported side by side so a run makes degradation visible:
 ``injected == detected == recovered`` on every completed run, and the
 recovery columns show what that guarantee cost.
+
+Both classes are thin views over a :class:`repro.obs.metrics.
+MetricsRegistry` — every counter lives under ``faults.injected.*`` or
+``faults.recovery.*`` in the registry, so metric exports and these
+legacy attribute-style accessors always read the same numbers.  The
+attribute API (``stats.timeouts += 1``) and ``snapshot()`` payloads are
+unchanged.
 """
 
 from __future__ import annotations
 
-from ..analysis.stats import Distribution
+from ..obs.metrics import Histogram, MetricsRegistry
+
+
+def _counter_property(suffix: str) -> property:
+    """Attribute-style access to the backing registry counter."""
+
+    def _get(self):
+        return self._registry.counter(self._prefix + suffix).value
+
+    def _set(self, value):
+        self._registry.counter(self._prefix + suffix).value = value
+
+    return property(_get, _set, doc=f"Registry counter ``{suffix}``.")
 
 
 class FaultStats:
     """What the fault plan injected, by category."""
 
-    __slots__ = ("broadcast_drops", "receiver_drops", "corruptions",
-                 "jitter_events", "jitter_cycles", "stalls")
+    __slots__ = ("_registry", "_prefix")
 
-    def __init__(self):
-        self.broadcast_drops = 0   # whole broadcasts lost (per receiver)
-        self.receiver_drops = 0    # single-receiver losses
-        self.corruptions = 0       # ECC-detectable corrupt arrivals
-        self.jitter_events = 0
-        self.jitter_cycles = 0
-        self.stalls = 0            # transient receive-port stalls
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = "faults.injected."
+        for suffix in ("broadcast_drops", "receiver_drops", "corruptions",
+                       "jitter_events", "jitter_cycles", "stalls"):
+            self._registry.counter(self._prefix + suffix)
+
+    broadcast_drops = _counter_property("broadcast_drops")
+    receiver_drops = _counter_property("receiver_drops")
+    corruptions = _counter_property("corruptions")
+    jitter_events = _counter_property("jitter_events")
+    jitter_cycles = _counter_property("jitter_cycles")
+    stalls = _counter_property("stalls")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
 
     @property
     def injected(self) -> int:
@@ -51,20 +79,34 @@ class FaultStats:
 class RecoveryStats:
     """What the recovery slow path detected, repaired, and cost."""
 
-    __slots__ = ("timeouts", "nacks", "requests", "retransmits",
-                 "recovered", "retry_high_water", "payload_bytes",
-                 "busy_cycles", "latency")
+    __slots__ = ("_registry", "_prefix")
 
-    def __init__(self):
-        self.timeouts = 0        # losses detected by sequence-gap/timeout
-        self.nacks = 0           # corruptions detected by ECC
-        self.requests = 0        # retransmit requests sent (recovery-only)
-        self.retransmits = 0     # retransmissions sent by owners
-        self.recovered = 0       # deliveries successfully repaired
-        self.retry_high_water = 0
-        self.payload_bytes = 0   # recovery-only traffic
-        self.busy_cycles = 0     # recovery channel occupancy
-        self.latency = Distribution()  # delivery delay vs. fault-free
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._prefix = "faults.recovery."
+        for suffix in ("timeouts", "nacks", "requests", "retransmits",
+                       "recovered", "retry_high_water", "payload_bytes",
+                       "busy_cycles"):
+            self._registry.counter(self._prefix + suffix)
+        self._registry.histogram(self._prefix + "latency")
+
+    timeouts = _counter_property("timeouts")
+    nacks = _counter_property("nacks")
+    requests = _counter_property("requests")
+    retransmits = _counter_property("retransmits")
+    recovered = _counter_property("recovered")
+    retry_high_water = _counter_property("retry_high_water")
+    payload_bytes = _counter_property("payload_bytes")
+    busy_cycles = _counter_property("busy_cycles")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def latency(self) -> Histogram:
+        """Delivery delay vs. fault-free (a registry histogram)."""
+        return self._registry.histogram(self._prefix + "latency")
 
     @property
     def detected(self) -> int:

@@ -25,6 +25,7 @@ and recovery").
 from __future__ import annotations
 
 from ..errors import ConfigError
+from ..obs.events import EventKind
 from ..params import BusConfig
 from .bus import Bus
 from .message import Message, MessageKind
@@ -33,6 +34,13 @@ from .ring import Ring
 
 class BroadcastMedium:
     """Interface shared by every broadcast transport."""
+
+    #: Observability hook (``None`` = untraced, zero overhead).
+    tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit MEDIUM_XFER events to ``tracer`` (node = source)."""
+        self.tracer = tracer
 
     def broadcast(self, now: int, src: int, line: int,
                   payload_bytes: int) -> "list":
@@ -72,7 +80,11 @@ class BusMedium(BroadcastMedium):
         self._tag += 1
         message = Message(MessageKind.BROADCAST, src=src, line_addr=line,
                           payload_bytes=payload_bytes, tag=self._tag)
-        _, done = self.bus.transfer(now, message)
+        start, done = self.bus.transfer(now, message)
+        if self.tracer is not None:
+            self.tracer.emit(EventKind.MEDIUM_XFER, now, src, line=line,
+                             start=start, done=done,
+                             payload_bytes=payload_bytes)
         return [None if node == src else done
                 for node in range(self.num_nodes)]
 
@@ -117,6 +129,12 @@ class RingMedium(BroadcastMedium):
                           payload_bytes=payload_bytes, tag=self._tag)
         arrivals = self.ring.broadcast(now, message)
         self._payload += payload_bytes
+        if self.tracer is not None:
+            last = max(arrivals[node] for node in range(self.num_nodes)
+                       if node != src)
+            self.tracer.emit(EventKind.MEDIUM_XFER, now, src, line=line,
+                             start=now, done=last,
+                             payload_bytes=payload_bytes)
         return [None if node == src else arrivals[node]
                 for node in range(self.num_nodes)]
 
@@ -148,6 +166,10 @@ class OpticalMedium(BroadcastMedium):
         self._transactions += 1
         self._payload += payload_bytes
         arrival = now + self.latency
+        if self.tracer is not None:
+            self.tracer.emit(EventKind.MEDIUM_XFER, now, src, line=line,
+                             start=now, done=arrival,
+                             payload_bytes=payload_bytes)
         return [None if node == src else arrival
                 for node in range(self.num_nodes)]
 

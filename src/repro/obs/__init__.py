@@ -1,0 +1,65 @@
+"""Structured observability for the DataScalar simulator.
+
+This package is the simulator's instrumentation layer:
+
+* :mod:`repro.obs.events` — the typed event vocabulary
+  (:class:`EventKind`, :class:`TraceEvent`);
+* :mod:`repro.obs.tracer` — the narrow :class:`Tracer` protocol the
+  simulator emits through (``None`` by default: zero overhead when
+  disabled) and the in-memory :class:`EventTracer`;
+* :mod:`repro.obs.metrics` — the hierarchical :class:`MetricsRegistry`
+  (counters, gauges, histograms, series) behind every stat report;
+* :mod:`repro.obs.divergence` — SPSD lockstep checking that pinpoints
+  the first divergent event instead of a bit-mismatch at end of run; and
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  JSONL exporters.
+
+Entry points: ``DataScalarSystem.run(..., tracer=EventTracer())`` and
+``python -m repro.experiments traced-run --trace-out trace.json
+--metrics-out metrics.txt``.  See ``docs/observability.md``.
+"""
+
+from .divergence import Divergence, DivergenceError, assert_lockstep, check_lockstep
+from .events import EventKind, TraceEvent
+from .export import (
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    format_metrics,
+    registry_from_result,
+)
+from .tracer import EventTracer, NullTracer, SamplingTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Divergence",
+    "DivergenceError",
+    "EventKind",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "SamplingTracer",
+    "Series",
+    "TraceEvent",
+    "Tracer",
+    "assert_lockstep",
+    "check_lockstep",
+    "format_metrics",
+    "from_jsonl",
+    "registry_from_result",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

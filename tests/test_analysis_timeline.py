@@ -60,6 +60,36 @@ def test_to_csv_shape():
     assert len(lines) == len(timeline.samples) + 1
 
 
+def test_to_csv_schema_regression():
+    """The public CSV schema must not drift: exact header and one row
+    per sample, regardless of the registry-backed storage."""
+    timeline, _ = _record(limit=1000)
+    lines = timeline.to_csv().strip().splitlines()
+    assert lines[0] == ("cycle,committed_0,committed_1,bshr_0,bshr_1,"
+                        "dcub_0,dcub_1,broadcasts_0,broadcasts_1,"
+                        "bus_transactions")
+    for line in lines[1:]:
+        assert len(line.split(",")) == 10
+    first = lines[1].split(",")
+    sample = timeline.samples[0]
+    assert first == [str(sample.cycle), *map(str, sample.committed),
+                     *map(str, sample.bshr_occupancy),
+                     *map(str, sample.dcub_occupancy),
+                     *map(str, sample.broadcasts_sent),
+                     str(sample.bus_transactions)]
+
+
+def test_timeline_series_live_in_registry():
+    """The samples are registry series under ``timeline.*``; exporting
+    the registry carries the timeline."""
+    timeline, _ = _record(limit=1000)
+    registry = timeline.registry
+    assert "timeline.cycle" in registry
+    assert "timeline.committed.0" in registry
+    assert registry.series("timeline.cycle").values == timeline.cycles()
+    assert len(registry.subtree("timeline")) == 2 + 4 * 2
+
+
 def test_empty_timeline_csv():
     assert Timeline().to_csv() == ""
 

@@ -10,6 +10,7 @@ def test_every_experiment_registered():
     assert set(EXPERIMENTS) == {
         "figure1", "figure3", "figure7", "figure8",
         "table1", "table2", "table3", "scaling", "resilience",
+        "traced-run",
     }
 
 
@@ -58,6 +59,33 @@ def test_run_one_table1_with_csv(tmp_path):
 def test_csv_rejected_for_non_row_experiments(tmp_path):
     with pytest.raises(SystemExit):
         run_one("figure1", limit=None, csv_path=str(tmp_path / "x.csv"))
+
+
+def test_run_one_traced_run_roundtrip(tmp_path):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.txt"
+    text = run_one("traced-run", limit=800, trace_out=str(trace_path),
+                   metrics_out=str(metrics_path))
+    assert "traced-run" in text
+    assert "SPSD lockstep: OK" in text
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    metrics = metrics_path.read_text()
+    assert "run.cycles" in metrics
+    assert "trace.events.commit" in metrics
+
+
+def test_main_traced_run_flags(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["traced-run", "--limit", "800",
+                 "--trace-out", str(trace_path)]) == 0
+    assert "SPSD lockstep: OK" in capsys.readouterr().out
+    from repro.obs import from_jsonl
+
+    events = from_jsonl(trace_path.read_text())
+    assert events and {event.node for event in events} == {0, 1, 2, 3}
 
 
 def test_main_list(capsys):

@@ -113,6 +113,50 @@ def test_fast_forward_matches_dense_under_faults(interconnect):
     assert fast.extra["faults"]["recovery"]["recovered"] > 0
 
 
+@pytest.mark.parametrize("num_nodes", [2, 4])
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_tracing_is_bit_identical(workload, num_nodes):
+    """Tracing is purely observational: a fully-traced fast-forwarded
+    run must report exactly the numbers of the untraced run (and of the
+    dense untraced run, by transitivity with the tests above)."""
+    from repro.obs import EventTracer, SamplingTracer
+
+    program = build_program(workload)
+    config = _config(num_nodes, "bus")
+    plain = DataScalarSystem(config).run(program, limit=LIMIT)
+    traced = DataScalarSystem(config).run(program, limit=LIMIT,
+                                          tracer=EventTracer())
+    assert _snapshot(traced) == _snapshot(plain)
+
+    # A scheduled tracer bounds idle-skips to its sample cycles; the
+    # skipped-vs-ticked split changes, the numbers must not.
+    sampled = DataScalarSystem(config).run(program, limit=LIMIT,
+                                           tracer=SamplingTracer(128))
+    assert _snapshot(sampled) == _snapshot(plain)
+
+
+def test_tracing_is_bit_identical_under_faults():
+    """The faulty row: tracing must not perturb the seeded fault
+    schedule, the recovery ledger, or the cycle count."""
+    from repro.obs import EventKind, EventTracer
+    from repro.params import FaultConfig
+
+    program = build_program("compress")
+    faults = FaultConfig(seed=17, receiver_drop_prob=1e-2,
+                         corrupt_prob=5e-3, jitter_prob=2e-2,
+                         stall_prob=5e-3)
+    config = dataclasses.replace(_config(4, "bus"), faults=faults)
+    plain = DataScalarSystem(config).run(program, limit=LIMIT)
+    tracer = EventTracer()
+    traced = DataScalarSystem(config).run(program, limit=LIMIT,
+                                          tracer=tracer)
+    assert _snapshot(traced) == _snapshot(plain)
+    assert traced.extra["faults"] == plain.extra["faults"]
+    injected = plain.extra["faults"]["injected"]["injected"]
+    recover_events = tracer.counts.get(EventKind.FAULT_RECOVER, 0)
+    assert recover_events == injected > 0
+
+
 def test_fast_forward_flag_disables_skipping():
     """``fast_forward=False`` alone (shared fan-out still active) must
     also be bit-identical — the two optimizations are independent."""

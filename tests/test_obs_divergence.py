@@ -1,0 +1,126 @@
+"""Tests for the SPSD lockstep divergence checker."""
+
+import pytest
+
+from repro.core.system import DataScalarSystem
+from repro.errors import ProtocolError
+from repro.experiments.config import datascalar_config
+from repro.obs import Divergence, DivergenceError, EventKind, EventTracer, \
+    TraceEvent, assert_lockstep, check_lockstep
+from repro.workloads import build_program
+
+
+def _commit(node, cycle, seq, op="alu"):
+    return TraceEvent(EventKind.COMMIT, cycle, node, {"seq": seq, "op": op})
+
+
+def _cache(node, cycle, line, evicted=None):
+    return TraceEvent(EventKind.CACHE_COMMIT, cycle, node,
+                      {"line": line, "store": False, "hit": False,
+                       "filled": True, "evicted": evicted})
+
+
+def test_lockstep_ok_for_identical_streams():
+    events = []
+    for node in (0, 1):
+        events += [_commit(node, 10 + node, 1), _commit(node, 12 + node, 2)]
+    assert check_lockstep(events) is None
+    assert_lockstep(events)  # must not raise
+
+
+def test_single_node_stream_is_trivially_lockstep():
+    assert check_lockstep([_commit(0, 1, 1), _commit(0, 2, 2)]) is None
+    assert check_lockstep([]) is None
+
+
+def test_commit_divergence_pinpoints_node_and_cycle():
+    events = [_commit(0, 10, 1), _commit(0, 12, 2),
+              _commit(1, 11, 1), _commit(1, 13, 2, op="load")]
+    divergence = check_lockstep(events)
+    assert divergence is not None
+    assert divergence.invariant == "commit"
+    assert divergence.index == 1
+    assert divergence.node == 1
+    assert divergence.cycle == 13
+    assert divergence.expected == (2, "alu")
+    assert divergence.got == (2, "load")
+    text = divergence.describe()
+    assert "node 1" in text and "cycle 13" in text
+
+
+def test_cache_decision_divergence_detected():
+    """A mutated replacement decision (different victim) is caught."""
+    events = [_cache(0, 20, 0x100, evicted=0x40),
+              _cache(1, 21, 0x100, evicted=0x80)]
+    divergence = check_lockstep(events)
+    assert divergence is not None
+    assert divergence.invariant == "cache-decision"
+    assert divergence.node == 1 and divergence.cycle == 21
+
+
+def test_missing_tail_is_a_divergence():
+    events = [_commit(0, 10, 1), _commit(0, 12, 2), _commit(1, 11, 1)]
+    divergence = check_lockstep(events)
+    assert divergence is not None
+    assert divergence.index == 1
+    assert divergence.got is None
+    assert "ended after 1 events" in divergence.describe()
+
+
+def test_extra_tail_is_a_divergence():
+    events = [_commit(0, 10, 1), _commit(1, 11, 1), _commit(1, 13, 2)]
+    divergence = check_lockstep(events)
+    assert divergence is not None
+    assert divergence.expected is None
+    assert "extra event" in divergence.describe()
+
+
+def test_earliest_cycle_wins_across_invariants():
+    events = [
+        _commit(0, 50, 1), _commit(1, 51, 1, op="load"),  # commit @51
+        _cache(0, 20, 0x100, evicted=0x40),
+        _cache(1, 21, 0x100, evicted=0x80),               # cache @21
+    ]
+    divergence = check_lockstep(events)
+    assert divergence.invariant == "cache-decision"
+
+
+def test_assert_lockstep_raises_protocol_error():
+    events = [_commit(0, 10, 1), _commit(1, 11, 1, op="load")]
+    with pytest.raises(DivergenceError) as excinfo:
+        assert_lockstep(events)
+    assert isinstance(excinfo.value, ProtocolError)
+    assert "node 1" in str(excinfo.value)
+
+
+def test_divergence_dataclass_fields():
+    divergence = Divergence(invariant="commit", index=0, node=1, cycle=5,
+                            reference_node=0, expected=(1, "alu"),
+                            got=(1, "load"))
+    assert "commit event #0" in divergence.describe()
+
+
+def test_real_run_is_lockstep_and_tampering_is_caught():
+    """A real two-node run passes; mutating one node's recorded
+    replacement decision is caught at that exact event."""
+    program = build_program("compress")
+    tracer = EventTracer()
+    DataScalarSystem(datascalar_config(2)).run(program, limit=2000,
+                                               tracer=tracer)
+    assert check_lockstep(tracer.events) is None
+
+    tampered = [
+        TraceEvent(event.kind, event.cycle, event.node, dict(event.args))
+        for event in tracer.events
+    ]
+    victims = [event for event in tampered
+               if event.kind is EventKind.CACHE_COMMIT and event.node == 1]
+    assert victims, "run produced no node-1 cache commits"
+    victim = victims[len(victims) // 2]
+    victim.args["evicted"] = 0xdead000  # a different replacement victim
+    divergence = check_lockstep(tampered)
+    assert divergence is not None
+    assert divergence.invariant == "cache-decision"
+    assert divergence.node == 1
+    assert divergence.cycle == victim.cycle
+    assert divergence.got[4] == 0xdead000
