@@ -1,0 +1,110 @@
+"""Benchmark: sweep-runner throughput (parallel fan-out + result cache).
+
+Runs the full Figure 7 sweep (six benchmarks × five systems = thirty
+points) three ways and times each: cold serial (``jobs=1``, no cache),
+cold parallel (``jobs=min(4, cpus)``), and warm from the
+content-addressed cache.  All three paths must produce bit-identical
+results; the warm path must beat cold serial by at least 10x
+(``REPRO_MIN_WARM_SPEEDUP`` overrides the floor).
+
+The parallel-speedup floor (``REPRO_MIN_PARALLEL_SPEEDUP``, default 2x)
+is only asserted when the machine actually has four or more CPUs —
+process fan-out cannot beat serial on a single-core container, and this
+suite records honest numbers.  ``BENCH_sweep.json`` at the repo root
+stores the measurement (with its ``cpus`` field) from the most recent
+``REPRO_WRITE_BENCH=1`` run; CI's four-vCPU sweep job regenerates and
+uploads it as an artifact.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+
+from conftest import QUICK_TIMING_LIMIT, full_run, run_once
+
+from repro.experiments.figure7 import benchmark_points
+from repro.runner import ResultCache, SweepRunner, result_fingerprint
+from repro.workloads import TIMING_BENCHMARKS, build_program
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_sweep.json"
+PARALLEL_JOBS = min(4, os.cpu_count() or 1)
+MIN_WARM_SPEEDUP = float(os.environ.get("REPRO_MIN_WARM_SPEEDUP", "10"))
+MIN_PARALLEL_SPEEDUP = float(
+    os.environ.get("REPRO_MIN_PARALLEL_SPEEDUP", "2"))
+
+
+def _sweep_points(limit):
+    points = []
+    for name in TIMING_BENCHMARKS:
+        points.extend(benchmark_points(name, limit=limit))
+    return points
+
+
+def _sweep_sha(results) -> str:
+    text = json.dumps([result_fingerprint(r) for r in results],
+                      sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def test_sweep_runner_throughput(benchmark, tmp_path):
+    limit = None if full_run() else QUICK_TIMING_LIMIT
+    points = _sweep_points(limit)
+    for name in TIMING_BENCHMARKS:  # warm the program cache up front so
+        build_program(name)         # every timed path measures pure
+                                    # simulation, not program assembly
+    start = time.perf_counter()
+    serial = SweepRunner(jobs=1).run(points)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepRunner(jobs=PARALLEL_JOBS).run(points)
+    parallel_seconds = time.perf_counter() - start
+
+    cache = ResultCache(tmp_path / "sweep-cache", code_version="bench")
+    SweepRunner(jobs=1, cache=cache).run(points)
+    warm_runner = SweepRunner(jobs=1, cache=cache)
+    start = time.perf_counter()
+    warm = run_once(benchmark, warm_runner.run, points)
+    warm_seconds = time.perf_counter() - start
+
+    # Hard invariant: the three paths are bit-identical.
+    assert warm_runner.registry.counter("runner.points.executed").value == 0
+    sha = _sweep_sha(serial)
+    assert _sweep_sha(parallel) == sha
+    assert _sweep_sha(warm) == sha
+
+    parallel_speedup = serial_seconds / parallel_seconds
+    warm_speedup = serial_seconds / warm_seconds
+    record = {
+        "cpus": os.cpu_count() or 1,
+        "points": len(points),
+        "limit": limit,
+        "sweep_sha": sha,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_seconds": round(parallel_seconds, 4),
+        "parallel_speedup": round(parallel_speedup, 3),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": round(warm_speedup, 1),
+    }
+    print()
+    print(json.dumps(record, indent=2))
+    if os.environ.get("REPRO_WRITE_BENCH", "") == "1":
+        BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        return
+    if limit == QUICK_TIMING_LIMIT and BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        # Simulation is deterministic: the sweep's content hash must
+        # match the committed measurement exactly.
+        assert baseline["sweep_sha"] == sha
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm cache only {warm_speedup:.1f}x faster than cold serial "
+        f"({warm_seconds:.3f}s vs {serial_seconds:.3f}s)")
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"jobs={PARALLEL_JOBS} only {parallel_speedup:.2f}x faster "
+            f"than serial ({parallel_seconds:.3f}s vs "
+            f"{serial_seconds:.3f}s)")

@@ -40,6 +40,21 @@ class SimulationError(ReproError):
     """A timing simulation failed to make forward progress."""
 
 
+class RunnerError(ReproError):
+    """The sweep engine could not execute a sweep as requested.
+
+    Raised for invalid runner parameters, for sweeps where one or more
+    points failed after their retry budget (the first failing point's
+    original exception is chained as ``__cause__``), and as the base of
+    the timeout error below.
+    """
+
+
+class PointTimeoutError(RunnerError):
+    """A sweep stalled: no point made progress within the runner's
+    ``timeout`` window, so outstanding work was cancelled."""
+
+
 class FaultError(SimulationError):
     """An injected transport fault could not be recovered.
 

@@ -4,16 +4,24 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments table1 [--limit N] [--csv out.csv]
-    python -m repro.experiments figure7 --limit 12000
+    python -m repro.experiments figure7 --limit 12000 --jobs 4
     python -m repro.experiments all --limit 10000
+
+Simulations fan out over ``--jobs`` worker processes and completed
+points land in a content-addressed on-disk cache, so a warm re-run of
+``all`` skips simulation entirely (see docs/runner.md).  ``--jobs 1
+--no-cache`` is exactly the classic serial path.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 
 from ..analysis.export import write_csv
+from ..runner import (ResultCache, SweepRunner, default_cache_dir,
+                      set_default_runner)
 from .figure1 import format_figure1, run_figure1
 from .figure3 import format_figure3, run_figure3
 from .figure7 import format_figure7, run_figure7
@@ -57,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--limit", type=int, default=None,
                         help="dynamic-instruction cap per run "
                              "(default: run kernels to completion)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the sweep runner "
+                             "(default: all CPUs; 1 = classic serial "
+                             "in-process execution)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result cache "
+                             "(every point re-simulates)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
     parser.add_argument("--csv", default=None,
                         help="also write result rows to this CSV file "
                              "(row-producing experiments only)")
@@ -102,36 +120,63 @@ def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
     return formatter(result)
 
 
+def _build_runner(args) -> SweepRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepRunner(jobs=args.jobs, cache=cache)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    names = sorted(EXPERIMENTS) if args.experiment == "all" \
-        else [args.experiment]
+    run_all = args.experiment == "all"
+    names = sorted(EXPERIMENTS) if run_all else [args.experiment]
     profiler = None
     if args.profile:
         import cProfile
 
         profiler = cProfile.Profile()
         profiler.enable()
+    sweep_runner = _build_runner(args)
+    previous = set_default_runner(sweep_runner)
+    failures: "list[tuple[str, BaseException]]" = []
     try:
         for name in names:
-            print(run_one(name, args.limit,
-                          args.csv if len(names) == 1 else None,
-                          fault_seed=args.fault_seed,
-                          drop_prob=args.drop_prob,
-                          trace_out=args.trace_out,
-                          metrics_out=args.metrics_out))
-            print()
+            try:
+                print(run_one(name, args.limit,
+                              args.csv if len(names) == 1 else None,
+                              fault_seed=args.fault_seed,
+                              drop_prob=args.drop_prob,
+                              trace_out=args.trace_out,
+                              metrics_out=args.metrics_out))
+                print()
+            except Exception as exc:
+                # Under `all`, one broken experiment must not take the
+                # rest of the batch down with it.
+                if not run_all:
+                    raise
+                failures.append((name, exc))
+                traceback.print_exc()
+                print(f"[failed] {name}: {exc}", file=sys.stderr)
+                print()
     finally:
+        set_default_runner(previous)
         if profiler is not None:
             profiler.disable()
             profiler.dump_stats(args.profile)
             print(f"profile written to {args.profile} "
                   f"(inspect with: python -m pstats {args.profile})",
                   file=sys.stderr)
+    print(sweep_runner.summary())
+    if failures:
+        failed = ", ".join(name for name, _ in failures)
+        print(f"[failed] {len(failures)} of {len(names)} experiments: "
+              f"{failed}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -28,10 +28,9 @@ class Figure1Result:
                 - self.single_owner.total_cycles)
 
 
-def run_figure1(broadcast_latency: int = 1,
-                lead_change_penalty: int = 3) -> Figure1Result:
-    """Regenerate Figure 1 plus best/worst-case reference strings of the
-    same length."""
+def compute_figure1(broadcast_latency: int = 1,
+                    lead_change_penalty: int = 3) -> Figure1Result:
+    """The pure measurement body (the ``esp-schedule`` sweep executor)."""
     mmm = MassiveMemoryMachine(num_processors=2,
                                broadcast_latency=broadcast_latency,
                                lead_change_penalty=lead_change_penalty)
@@ -41,6 +40,23 @@ def run_figure1(broadcast_latency: int = 1,
     worst = mmm.schedule([i % 2 for i in range(n)])
     return Figure1Result(paper_schedule=paper, single_owner=best,
                          worst_case=worst)
+
+
+def run_figure1(broadcast_latency: int = 1,
+                lead_change_penalty: int = 3,
+                runner=None) -> Figure1Result:
+    """Regenerate Figure 1 plus best/worst-case reference strings of the
+    same length."""
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
+    point = SweepPoint.make(
+        "esp-schedule",
+        broadcast_latency=broadcast_latency,
+        lead_change_penalty=lead_change_penalty,
+        label="figure1/esp-schedule",
+    )
+    return runner.run([point])[0]
 
 
 def format_figure1(result: Figure1Result) -> str:

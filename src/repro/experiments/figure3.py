@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.report import format_table
-from ..baseline.traditional import TraditionalSystem
-from ..core.system import DataScalarSystem
 from ..isa.builder import ProgramBuilder
 from ..workloads.common import checksum_slot, store_checksum
 from .config import datascalar_config, timing_node_config, traditional_config
@@ -94,21 +92,27 @@ def _chain_program(hops: int = 64, words_per_page: int = PAGE // 4):
 
 
 def run_figure3(num_nodes: int = 4, hops: int = 64,
-                limit=None) -> Figure3Result:
+                limit=None, runner=None) -> Figure3Result:
     """Regenerate Figure 3: the analytic 2-vs-8 counts for the paper's
     exact example, plus a timing run of the pointer-chase microbenchmark
     on matched systems."""
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
     # The paper's example: x1..x3 on chip 0, x4 on chip 1; the requesting
     # traditional chip holds none of them.
     paper_chain = [0, 0, 0, 1]
     analytic_ds = datascalar_crossings(paper_chain)
     analytic_trad = traditional_crossings(paper_chain, local_node=None)
     node = timing_node_config(dcache_bytes=1024)
-    program = _chain_program(hops=hops)
-    ds = DataScalarSystem(datascalar_config(num_nodes, node=node))
-    ds_result = ds.run(program, limit=limit)
-    trad = TraditionalSystem(traditional_config(num_nodes, node=node))
-    trad_result = trad.run(program, limit=limit)
+    ds_result, trad_result = runner.run([
+        SweepPoint.make("figure3", limit=limit, hops=hops,
+                        config=datascalar_config(num_nodes, node=node),
+                        label=f"figure3/ds{num_nodes}"),
+        SweepPoint.make("figure3", limit=limit, hops=hops,
+                        config=traditional_config(num_nodes, node=node),
+                        label=f"figure3/trad{num_nodes}"),
+    ])
     return Figure3Result(
         datascalar_crossings=analytic_ds,
         traditional_crossings=analytic_trad,

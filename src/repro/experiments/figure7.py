@@ -4,6 +4,11 @@ Per benchmark, five systems: a perfect data cache, DataScalar with two
 and four nodes, and traditional systems with one-half and one-quarter of
 main memory on-chip — each traditional system matched against the
 DataScalar machine with the same per-chip memory.
+
+The five systems are expressed as :class:`~repro.runner.SweepPoint`
+chunks and executed by the sweep runner, so a whole figure's worth of
+benchmarks fans out over one batch (and one process pool, at
+``--jobs N``).
 """
 
 from __future__ import annotations
@@ -11,11 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.report import format_ipc, format_table
-from ..baseline.perfect import PerfectSystem
-from ..baseline.traditional import TraditionalSystem
-from ..core.system import DataScalarSystem
-from ..workloads import TIMING_BENCHMARKS, build_program
+from ..workloads import TIMING_BENCHMARKS
 from .config import datascalar_config, timing_node_config, traditional_config
+
+#: Points per benchmark chunk (perfect + DS/trad per node count).
+_CHUNK = 5
 
 
 @dataclass
@@ -42,39 +47,73 @@ class Figure7Row:
         return self.datascalar4_ipc / self.traditional_quarter_ipc
 
 
-def run_benchmark(name: str, scale: int = 1, limit=None,
-                  node=None, bus=None, node_counts=(2, 4)):
-    """Simulate one benchmark on all five systems; returns a
-    :class:`Figure7Row`."""
-    program = build_program(name, scale)
+def benchmark_points(name: str, scale: int = 1, limit=None,
+                     node=None, bus=None, node_counts=(2, 4)):
+    """The five sweep points of one Figure 7 benchmark, in the fixed
+    chunk order [perfect, ds(a), trad(a), ds(b), trad(b)]."""
+    from ..runner import SweepPoint
+
     node = node or timing_node_config()
-    perfect = PerfectSystem(node.cpu).run(program, limit=limit)
-    ds_results = {}
-    trad_results = {}
+    points = [SweepPoint.make("perfect", name, scale=scale, limit=limit,
+                              config=node.cpu, label=f"{name}/perfect")]
     for count in node_counts:
-        ds = DataScalarSystem(datascalar_config(count, node=node, bus=bus))
-        ds_results[count] = ds.run(program, limit=limit)
-        trad = TraditionalSystem(traditional_config(count, node=node,
-                                                    bus=bus))
-        trad_results[count] = trad.run(program, limit=limit)
-    two, four = node_counts
+        points.append(SweepPoint.make(
+            "datascalar", name, scale=scale, limit=limit,
+            config=datascalar_config(count, node=node, bus=bus),
+            label=f"{name}/ds{count}",
+        ))
+        points.append(SweepPoint.make(
+            "traditional", name, scale=scale, limit=limit,
+            config=traditional_config(count, node=node, bus=bus),
+            label=f"{name}/trad{count}",
+        ))
+    return points
+
+
+def row_from_chunk(name: str, chunk) -> Figure7Row:
+    """Assemble a :class:`Figure7Row` from one benchmark's five results
+    (in :func:`benchmark_points` order)."""
+    perfect, ds2, trad2, ds4, trad4 = chunk
     return Figure7Row(
         benchmark=name,
         perfect_ipc=perfect.ipc,
-        datascalar2_ipc=ds_results[two].ipc,
-        datascalar4_ipc=ds_results[four].ipc,
-        traditional_half_ipc=trad_results[two].ipc,
-        traditional_quarter_ipc=trad_results[four].ipc,
-        datascalar2_result=ds_results[two],
-        datascalar4_result=ds_results[four],
+        datascalar2_ipc=ds2.ipc,
+        datascalar4_ipc=ds4.ipc,
+        traditional_half_ipc=trad2.ipc,
+        traditional_quarter_ipc=trad4.ipc,
+        datascalar2_result=ds2,
+        datascalar4_result=ds4,
     )
 
 
+def run_benchmark(name: str, scale: int = 1, limit=None,
+                  node=None, bus=None, node_counts=(2, 4), runner=None):
+    """Simulate one benchmark on all five systems; returns a
+    :class:`Figure7Row`."""
+    from ..runner import get_default_runner
+
+    runner = runner or get_default_runner()
+    results = runner.run(benchmark_points(name, scale=scale, limit=limit,
+                                          node=node, bus=bus,
+                                          node_counts=node_counts))
+    return row_from_chunk(name, results)
+
+
 def run_figure7(benchmarks=None, scale: int = 1, limit=None,
-                node=None, bus=None):
-    """Regenerate Figure 7's bars for every timing benchmark."""
-    return [run_benchmark(name, scale=scale, limit=limit, node=node, bus=bus)
-            for name in benchmarks or TIMING_BENCHMARKS]
+                node=None, bus=None, runner=None):
+    """Regenerate Figure 7's bars for every timing benchmark (one
+    runner batch across all of them)."""
+    from ..runner import get_default_runner
+
+    runner = runner or get_default_runner()
+    names = list(benchmarks or TIMING_BENCHMARKS)
+    points = []
+    for name in names:
+        points.extend(benchmark_points(name, scale=scale, limit=limit,
+                                       node=node, bus=bus))
+    results = runner.run(points)
+    return [row_from_chunk(name, results[i * _CHUNK:(i + 1) * _CHUNK])
+            for i, name in enumerate(names)]
 
 
 def format_figure7(rows) -> str:

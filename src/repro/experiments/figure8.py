@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.report import format_ipc, format_table
 from .config import timing_bus_config, timing_node_config
-from .figure7 import run_benchmark
+from .figure7 import benchmark_points, row_from_chunk
 
 #: The sweepable parameters and their default value grids.
 PARAMETERS = {
@@ -71,39 +71,69 @@ def _configure(parameter: str, value: int):
     return timing_node_config(**node_kwargs), timing_bus_config(**bus_kwargs)
 
 
-def run_panel(benchmark: str, parameter: str, values=None, scale: int = 1,
-              limit=None) -> Figure8Panel:
-    """Sweep one parameter for one benchmark."""
-    panel = Figure8Panel(benchmark=benchmark, parameter=parameter)
-    for value in values or PARAMETERS[parameter]:
+def _point_from_row(benchmark, parameter, value, row) -> Figure8Point:
+    return Figure8Point(
+        benchmark=benchmark,
+        parameter=parameter,
+        value=value,
+        perfect_ipc=row.perfect_ipc,
+        datascalar2_ipc=row.datascalar2_ipc,
+        datascalar4_ipc=row.datascalar4_ipc,
+        traditional_half_ipc=row.traditional_half_ipc,
+        traditional_quarter_ipc=row.traditional_quarter_ipc,
+    )
+
+
+def _sweep(cells, scale, limit, runner):
+    """Execute (benchmark, parameter, value) cells as one runner batch
+    and yield one :class:`Figure8Point` per cell."""
+    from ..runner import get_default_runner
+
+    runner = runner or get_default_runner()
+    points = []
+    for benchmark, parameter, value in cells:
         node, bus = _configure(parameter, value)
-        row = run_benchmark(benchmark, scale=scale, limit=limit,
-                            node=node, bus=bus)
-        panel.points.append(Figure8Point(
-            benchmark=benchmark,
-            parameter=parameter,
-            value=value,
-            perfect_ipc=row.perfect_ipc,
-            datascalar2_ipc=row.datascalar2_ipc,
-            datascalar4_ipc=row.datascalar4_ipc,
-            traditional_half_ipc=row.traditional_half_ipc,
-            traditional_quarter_ipc=row.traditional_quarter_ipc,
-        ))
+        points.extend(benchmark_points(benchmark, scale=scale, limit=limit,
+                                       node=node, bus=bus))
+    chunk = len(points) // len(cells) if cells else 1
+    results = runner.run(points)
+    for index, (benchmark, parameter, value) in enumerate(cells):
+        row = row_from_chunk(benchmark,
+                             results[index * chunk:(index + 1) * chunk])
+        yield _point_from_row(benchmark, parameter, value, row)
+
+
+def run_panel(benchmark: str, parameter: str, values=None, scale: int = 1,
+              limit=None, runner=None) -> Figure8Panel:
+    """Sweep one parameter for one benchmark."""
+    cells = [(benchmark, parameter, value)
+             for value in values or PARAMETERS[parameter]]
+    panel = Figure8Panel(benchmark=benchmark, parameter=parameter)
+    panel.points.extend(_sweep(cells, scale, limit, runner))
     return panel
 
 
 def run_figure8(benchmarks=FIGURE8_BENCHMARKS, parameters=None,
-                scale: int = 1, limit=None, values_per_parameter=None):
-    """Regenerate every panel of Figure 8."""
-    panels = []
+                scale: int = 1, limit=None, values_per_parameter=None,
+                runner=None):
+    """Regenerate every panel of Figure 8 (all panels' simulations fan
+    out as one runner batch)."""
+    cells = []
     for benchmark in benchmarks:
         for parameter in parameters or PARAMETERS:
             values = None
             if values_per_parameter:
                 values = values_per_parameter.get(parameter)
-            panels.append(run_panel(benchmark, parameter, values=values,
-                                    scale=scale, limit=limit))
-    return panels
+            for value in values or PARAMETERS[parameter]:
+                cells.append((benchmark, parameter, value))
+    panels = {}
+    for point in _sweep(cells, scale, limit, runner):
+        key = (point.benchmark, point.parameter)
+        if key not in panels:
+            panels[key] = Figure8Panel(benchmark=point.benchmark,
+                                       parameter=point.parameter)
+        panels[key].points.append(point)
+    return list(panels.values())
 
 
 def format_figure8(panels) -> str:

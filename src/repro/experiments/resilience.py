@@ -18,9 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..analysis.report import format_table, render_bars
-from ..core.system import DataScalarSystem
 from ..params import FaultConfig
-from ..workloads import build_program
 from .config import datascalar_config
 
 #: Swept per-receiver drop probabilities (0.0 is the fault-free anchor).
@@ -71,40 +69,58 @@ def fault_config_for(drop_prob: float, seed: int) -> FaultConfig:
 def run_resilience(limit=2500, num_nodes: int = 4,
                    workload: str = "compress", seeds=(11,),
                    drop_probs=DROP_PROBS,
-                   interconnect: str = "bus") -> "list[ResiliencePoint]":
-    """Sweep drop probability (× seeds) on one workload."""
-    program = build_program(workload)
+                   interconnect: str = "bus",
+                   runner=None) -> "list[ResiliencePoint]":
+    """Sweep drop probability (× seeds) on one workload.
+
+    Every cell (the fault-free anchor included) is one sweep point; the
+    seed rides inside the config's :class:`~repro.params.FaultConfig`,
+    so distinct seeds address distinct cache entries."""
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
     base_config = dataclasses.replace(
         datascalar_config(num_nodes), interconnect=interconnect)
-    baseline = DataScalarSystem(base_config).run(program, limit=limit)
+    cells = [(drop_prob, seed)
+             for drop_prob in drop_probs for seed in seeds]
+    sweep = [SweepPoint.make("datascalar", workload, limit=limit,
+                             config=base_config,
+                             label=f"resilience/{workload}/p0")]
+    for drop_prob, seed in cells:
+        if drop_prob == 0.0:
+            continue
+        config = dataclasses.replace(
+            base_config, faults=fault_config_for(drop_prob, seed))
+        sweep.append(SweepPoint.make(
+            "datascalar", workload, limit=limit, config=config,
+            label=f"resilience/{workload}/p{drop_prob:g}/s{seed}"))
+    results = runner.run(sweep)
+    baseline = results[0]
     base_signature = _signature(baseline)
+    faulty = iter(results[1:])
     points = []
-    for drop_prob in drop_probs:
-        for seed in seeds:
-            if drop_prob == 0.0:
-                result, faults = baseline, None
-            else:
-                config = dataclasses.replace(
-                    base_config,
-                    faults=fault_config_for(drop_prob, seed))
-                result = DataScalarSystem(config).run(program, limit=limit)
-                faults = result.extra["faults"]
-            recovery = faults["recovery"] if faults else {}
-            points.append(ResiliencePoint(
-                workload=workload,
-                interconnect=interconnect,
-                drop_prob=drop_prob,
-                seed=seed if faults else 0,
-                cycles=result.cycles,
-                slowdown=result.cycles / baseline.cycles,
-                injected=faults["injected"]["injected"] if faults else 0,
-                recovered=recovery.get("recovered", 0),
-                retry_high_water=recovery.get("retry_high_water", 0),
-                recovery_latency_p95=(
-                    recovery.get("latency", {}).get("p95", 0.0)),
-                bus_utilization=result.bus_utilization,
-                identical_architecture=_signature(result) == base_signature,
-            ))
+    for drop_prob, seed in cells:
+        if drop_prob == 0.0:
+            result, faults = baseline, None
+        else:
+            result = next(faulty)
+            faults = result.extra["faults"]
+        recovery = faults["recovery"] if faults else {}
+        points.append(ResiliencePoint(
+            workload=workload,
+            interconnect=interconnect,
+            drop_prob=drop_prob,
+            seed=seed if faults else 0,
+            cycles=result.cycles,
+            slowdown=result.cycles / baseline.cycles,
+            injected=faults["injected"]["injected"] if faults else 0,
+            recovered=recovery.get("recovered", 0),
+            retry_high_water=recovery.get("retry_high_water", 0),
+            recovery_latency_p95=(
+                recovery.get("latency", {}).get("p95", 0.0)),
+            bus_utilization=result.bus_utilization,
+            identical_architecture=_signature(result) == base_signature,
+        ))
     return points
 
 

@@ -14,9 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.report import format_ipc, format_percent, format_table
-from ..baseline.traditional import TraditionalSystem
-from ..core.system import DataScalarSystem
-from ..workloads import build_program
 from .config import datascalar_config, timing_node_config, \
     traditional_config
 
@@ -44,21 +41,30 @@ class ScalingPoint:
 
 def run_scaling(benchmark: str = "compress", node_counts=NODE_COUNTS,
                 scale: int = 1, limit=None, node=None, bus=None,
-                interconnect: str = "bus"):
+                interconnect: str = "bus", runner=None):
     """Sweep ``node_counts`` for one benchmark."""
     import dataclasses
 
-    program = build_program(benchmark, scale)
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
     node = node or timing_node_config()
-    points = []
+    sweep = []
     for count in node_counts:
         ds_config = dataclasses.replace(
             datascalar_config(count, node=node, bus=bus),
             interconnect=interconnect)
-        ds = DataScalarSystem(ds_config).run(program, limit=limit)
-        trad = TraditionalSystem(
-            traditional_config(count, node=node, bus=bus)).run(
-            program, limit=limit)
+        sweep.append(SweepPoint.make(
+            "datascalar", benchmark, scale=scale, limit=limit,
+            config=ds_config, label=f"scaling/{benchmark}/ds{count}"))
+        sweep.append(SweepPoint.make(
+            "traditional", benchmark, scale=scale, limit=limit,
+            config=traditional_config(count, node=node, bus=bus),
+            label=f"scaling/{benchmark}/trad{count}"))
+    results = runner.run(sweep)
+    points = []
+    for index, count in enumerate(node_counts):
+        ds, trad = results[2 * index], results[2 * index + 1]
         points.append(ScalingPoint(
             benchmark=benchmark,
             num_nodes=count,

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from ..analysis.report import format_percent, format_table
 from ..analysis.traffic import TABLE1_CACHE, measure_esp_traffic
 from ..params import CacheConfig
-from ..workloads import TABLE_BENCHMARKS, build_program
+from ..workloads import TABLE_BENCHMARKS
 
 #: A scaled measurement cache for quick runs (the kernels' working sets
 #: are scaled down ~100x from SPEC95's, so Table 1's 64KB cache would
@@ -35,22 +35,28 @@ class Table1Row:
 
 
 def run_table1(benchmarks=None, scale: int = 1, limit=None,
-               cache_config: CacheConfig = SCALED_CACHE):
+               cache_config: CacheConfig = SCALED_CACHE, runner=None):
     """Regenerate Table 1.  Pass ``cache_config=TABLE1_CACHE`` and a
     larger ``scale`` for the paper's exact cache configuration."""
-    rows = []
-    for name in benchmarks or TABLE_BENCHMARKS:
-        program = build_program(name, scale)
-        report = measure_esp_traffic(program, cache_config=cache_config,
-                                     limit=limit)
-        rows.append(Table1Row(
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
+    names = list(benchmarks or TABLE_BENCHMARKS)
+    reports = runner.run([
+        SweepPoint.make("esp-traffic", name, scale=scale, limit=limit,
+                        config=cache_config, label=f"table1/{name}")
+        for name in names
+    ])
+    return [
+        Table1Row(
             benchmark=name,
             bytes_eliminated=report.bytes_eliminated,
             transactions_eliminated=report.transactions_eliminated,
             misses=report.misses,
             writebacks=report.writebacks,
-        ))
-    return rows
+        )
+        for name, report in zip(names, reports)
+    ]
 
 
 def format_table1(rows) -> str:

@@ -58,60 +58,78 @@ def _thread_length(report) -> float:
     return report.mean_length
 
 
+def measure_datathreads(name: str, scale: int = 1, num_nodes: int = 4,
+                        budget_pages: int = 6, page_size: int = 1024,
+                        limit=None) -> Table2Row:
+    """One benchmark's Table 2 measurement (the ``datathread`` sweep
+    executor): plan replication, lay out pages, then walk the post-cache
+    miss stream through three datathread analyzers."""
+    program = build_program(name, scale)
+    plan = plan_replication(program, page_size, num_nodes,
+                            budget_pages, limit=limit)
+    spec = LayoutSpec(
+        num_nodes=num_nodes,
+        page_size=page_size,
+        distribution_block_pages=plan.distribution_block_pages,
+        replicate_text=False,  # Table 2 replicates by profile only
+        replicated_pages=plan.replicated_pages,
+    )
+    table, _summary = build_page_table(program, spec)
+    all_refs = DatathreadAnalyzer(table)
+    text_refs = DatathreadAnalyzer(table)
+    data_refs = DatathreadAnalyzer(table)
+    icache = Cache(MEASUREMENT_ICACHE, name="t2i")
+    dcache = Cache(MEASUREMENT_DCACHE, name="t2d")
+    interp = Interpreter(program)
+    for ref in interp.mem_refs(limit=limit, include_ifetch=True):
+        if ref.kind == IFETCH:
+            result = icache.commit_access(ref.addr, is_write=False)
+            if not result.hit:
+                all_refs.observe(ref.addr)
+                text_refs.observe(ref.addr)
+        else:
+            result = dcache.commit_access(ref.addr,
+                                          is_write=(ref.kind == "W"))
+            if not result.hit:
+                all_refs.observe(ref.addr)
+                data_refs.observe(ref.addr)
+    report_all = all_refs.finish()
+    report_text = text_refs.finish()
+    report_data = data_refs.finish()
+    by_segment = plan.replicated_by_segment()
+    return Table2Row(
+        benchmark=name,
+        distribution_kb=plan.distribution_block_pages * page_size / 1024,
+        replicated_text=by_segment[Segment.TEXT],
+        replicated_global=by_segment[Segment.GLOBAL],
+        replicated_heap=by_segment[Segment.HEAP],
+        replicated_stack=by_segment[Segment.STACK],
+        thread_all=_thread_length(report_all),
+        thread_text=_thread_length(report_text),
+        thread_data=_thread_length(report_data),
+        replicated_run=report_all.mean_replicated_length,
+    )
+
+
 def run_table2(benchmarks=None, scale: int = 1, num_nodes: int = 4,
-               budget_pages: int = 6, page_size: int = 1024, limit=None):
+               budget_pages: int = 6, page_size: int = 1024, limit=None,
+               runner=None):
     """Regenerate Table 2 for ``num_nodes`` processors.
 
     ``page_size`` defaults to 1KB — the scaled stand-in for the paper's
     8KB pages against MB-scale working sets."""
-    rows = []
-    for name in benchmarks or TABLE_BENCHMARKS:
-        program = build_program(name, scale)
-        plan = plan_replication(program, page_size, num_nodes,
-                                budget_pages, limit=limit)
-        spec = LayoutSpec(
-            num_nodes=num_nodes,
-            page_size=page_size,
-            distribution_block_pages=plan.distribution_block_pages,
-            replicate_text=False,  # Table 2 replicates by profile only
-            replicated_pages=plan.replicated_pages,
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
+    points = [
+        SweepPoint.make(
+            "datathread", name, scale=scale, limit=limit,
+            num_nodes=num_nodes, budget_pages=budget_pages,
+            page_size=page_size, label=f"table2/{name}",
         )
-        table, _summary = build_page_table(program, spec)
-        all_refs = DatathreadAnalyzer(table)
-        text_refs = DatathreadAnalyzer(table)
-        data_refs = DatathreadAnalyzer(table)
-        icache = Cache(MEASUREMENT_ICACHE, name="t2i")
-        dcache = Cache(MEASUREMENT_DCACHE, name="t2d")
-        interp = Interpreter(program)
-        for ref in interp.mem_refs(limit=limit, include_ifetch=True):
-            if ref.kind == IFETCH:
-                result = icache.commit_access(ref.addr, is_write=False)
-                if not result.hit:
-                    all_refs.observe(ref.addr)
-                    text_refs.observe(ref.addr)
-            else:
-                result = dcache.commit_access(ref.addr,
-                                              is_write=(ref.kind == "W"))
-                if not result.hit:
-                    all_refs.observe(ref.addr)
-                    data_refs.observe(ref.addr)
-        report_all = all_refs.finish()
-        report_text = text_refs.finish()
-        report_data = data_refs.finish()
-        by_segment = plan.replicated_by_segment()
-        rows.append(Table2Row(
-            benchmark=name,
-            distribution_kb=plan.distribution_block_pages * page_size / 1024,
-            replicated_text=by_segment[Segment.TEXT],
-            replicated_global=by_segment[Segment.GLOBAL],
-            replicated_heap=by_segment[Segment.HEAP],
-            replicated_stack=by_segment[Segment.STACK],
-            thread_all=_thread_length(report_all),
-            thread_text=_thread_length(report_text),
-            thread_data=_thread_length(report_data),
-            replicated_run=report_all.mean_replicated_length,
-        ))
-    return rows
+        for name in (benchmarks or TABLE_BENCHMARKS)
+    ]
+    return runner.run(points)
 
 
 def format_table2(rows) -> str:

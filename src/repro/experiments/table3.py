@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.report import format_percent, format_table
-from ..core.system import DataScalarSystem
-from ..workloads import TIMING_BENCHMARKS, build_program
+from ..workloads import TIMING_BENCHMARKS
 from .config import datascalar_config, timing_node_config
 
 
@@ -43,16 +42,21 @@ def row_from_result(name: str, result) -> Table3Row:
 
 
 def run_table3(benchmarks=None, scale: int = 1, limit=None,
-               num_nodes: int = 2, node=None):
+               num_nodes: int = 2, node=None, runner=None):
     """Regenerate Table 3 from fresh two-node runs."""
-    rows = []
+    from ..runner import SweepPoint, get_default_runner
+
+    runner = runner or get_default_runner()
     node = node or timing_node_config()
-    for name in benchmarks or TIMING_BENCHMARKS:
-        program = build_program(name, scale)
-        system = DataScalarSystem(datascalar_config(num_nodes, node=node))
-        result = system.run(program, limit=limit)
-        rows.append(row_from_result(name, result))
-    return rows
+    names = list(benchmarks or TIMING_BENCHMARKS)
+    results = runner.run([
+        SweepPoint.make("datascalar", name, scale=scale, limit=limit,
+                        config=datascalar_config(num_nodes, node=node),
+                        label=f"table3/{name}")
+        for name in names
+    ])
+    return [row_from_result(name, result)
+            for name, result in zip(names, results)]
 
 
 def format_table3(rows) -> str:

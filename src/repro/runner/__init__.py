@@ -1,0 +1,35 @@
+"""Parallel sweep engine with content-addressed result caching.
+
+Experiments are expressed as lists of :class:`SweepPoint` and executed
+by a :class:`SweepRunner`, which fans points out over a process pool
+(``jobs>1``), dedups identical points, and short-circuits points whose
+content digest is already in a :class:`ResultCache`.  Results always
+come back in point order and are bit-identical across ``jobs=1``,
+``jobs=N``, and cache-hit paths.
+
+See ``docs/runner.md`` for the full tour.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .digest import (canonicalize, code_version, point_digest,
+                     result_fingerprint)
+from .engine import (SweepRunner, get_default_runner, set_default_runner,
+                     using_runner)
+from .executors import EXECUTORS, execute_point
+from .point import SweepPoint
+
+__all__ = [
+    "SweepPoint",
+    "SweepRunner",
+    "ResultCache",
+    "default_cache_dir",
+    "canonicalize",
+    "code_version",
+    "point_digest",
+    "result_fingerprint",
+    "execute_point",
+    "EXECUTORS",
+    "get_default_runner",
+    "set_default_runner",
+    "using_runner",
+]

@@ -1,0 +1,267 @@
+"""The sweep engine: deterministic fan-out of sweep points.
+
+:class:`SweepRunner` executes a list of :class:`~repro.runner.point.
+SweepPoint` and returns results **in point order**, regardless of
+completion order, worker count, or cache state — the invariant every
+experiment driver leans on.  Three paths produce the same bits:
+
+* ``jobs=1`` — today's in-process path, exactly: each point's executor
+  is called directly, in order, and exceptions propagate unchanged;
+* ``jobs>1`` — points fan out over a ``ProcessPoolExecutor``; a failed
+  point is retried up to ``retries`` times, and if it still fails the
+  *first failing point by sweep order* is re-raised after the rest of
+  the sweep completes (deterministic, not completion-order-dependent);
+* cache hits — points whose digest is already in the
+  :class:`~repro.runner.cache.ResultCache` skip execution entirely.
+
+Identical points inside one sweep (same digest) execute once and fan
+the result out to every position.  Counters land in an
+:class:`~repro.obs.metrics.MetricsRegistry` under ``runner.*``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from ..errors import PointTimeoutError, RunnerError
+from ..obs.metrics import MetricsRegistry
+from .cache import ResultCache
+from .digest import point_digest
+from .executors import execute_point
+from .point import SweepPoint
+
+__all__ = ["SweepRunner", "get_default_runner", "set_default_runner",
+           "using_runner"]
+
+
+def _execute_timed(point: SweepPoint) -> "tuple[object, float]":
+    """Worker task: run one point, report its in-worker seconds."""
+    start = time.perf_counter()
+    result = execute_point(point)
+    return result, time.perf_counter() - start
+
+
+def _prebuild_programs(points: "list[SweepPoint]") -> None:
+    """Warm the shared program cache for every (workload, scale) in the
+    sweep, so forked workers inherit one build instead of re-assembling
+    per process (spawn-based platforms rebuild once per worker)."""
+    from ..workloads import build_program
+
+    for point in points:
+        if point.workload is not None:
+            build_program(point.workload, point.scale)
+
+
+class SweepRunner:
+    """Executes sweep points with optional parallelism and caching.
+
+    ``jobs=1`` (with ``retries=0``, the default) is byte-for-byte
+    today's serial driver path.  ``timeout`` bounds one point's
+    execution in seconds: in workers it also bounds how long the engine
+    waits for *any* progress, so a hung simulation surfaces as a
+    :class:`~repro.errors.RunnerError` instead of a silent stall.
+    """
+
+    def __init__(self, jobs: "int | None" = None,
+                 cache: "ResultCache | None" = None,
+                 registry: "MetricsRegistry | None" = None,
+                 timeout: "float | None" = None,
+                 retries: int = 0):
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise RunnerError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.timeout = timeout
+        self.retries = retries
+        self._wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def run(self, points) -> "list[object]":
+        """Execute every point; results come back in point order."""
+        points = list(points)
+        registry = self.registry
+        registry.counter("runner.points.total").inc(len(points))
+        start = time.perf_counter()
+        results: "list[object]" = [None] * len(points)
+        code = self.cache.code_version if self.cache is not None else ""
+        digests = [point_digest(point, code) for point in points]
+
+        # Resolve cache hits and dedup the remainder by digest.
+        pending: "dict[str, list[int]]" = {}
+        for index, (point, digest) in enumerate(zip(points, digests)):
+            if self.cache is not None:
+                hit, value = self.cache.load(point, digest=digest)
+                if hit:
+                    registry.counter("runner.cache.hit").inc()
+                    registry.counter("runner.points.cached").inc()
+                    results[index] = value
+                    continue
+                registry.counter("runner.cache.miss").inc()
+            pending.setdefault(digest, []).append(index)
+        duplicates = sum(len(slots) - 1 for slots in pending.values())
+        if duplicates:
+            registry.counter("runner.points.deduped").inc(duplicates)
+
+        if pending:
+            _prebuild_programs([points[slots[0]]
+                                for slots in pending.values()])
+            if self.jobs == 1:
+                executed = self._run_serial(points, pending, start)
+            else:
+                executed = self._run_parallel(points, pending, start)
+            for digest, value in executed.items():
+                for index in pending[digest]:
+                    results[index] = value
+        self._wall_seconds += time.perf_counter() - start
+        registry.gauge("runner.wall_seconds").set(self._wall_seconds)
+        return results
+
+    def summary(self) -> str:
+        """One-line accounting of everything this runner has done."""
+        registry = self.registry
+        total = registry.counter("runner.points.total").value
+        hits = registry.counter("runner.cache.hit").value
+        misses = registry.counter("runner.cache.miss").value
+        executed = registry.counter("runner.points.executed").value
+        deduped = registry.counter("runner.points.deduped").value
+        rate = f"{hits / total:.0%}" if total else "n/a"
+        wall = registry.gauge("runner.wall_seconds").value
+        return (f"[runner] jobs={self.jobs} points={total} "
+                f"executed={executed} deduped={deduped} "
+                f"cache_hits={hits} cache_misses={misses} "
+                f"cache_hit_rate={rate} wall={wall:.1f}s")
+
+    # ------------------------------------------------------------------
+    # Execution paths.
+    # ------------------------------------------------------------------
+    def _record_done(self, point: SweepPoint, digest: str, value: object,
+                     seconds: float, start: float) -> None:
+        registry = self.registry
+        registry.counter("runner.points.executed").inc()
+        registry.histogram("runner.point_seconds").record(seconds)
+        registry.series("runner.completed_at").append(
+            time.perf_counter() - start)
+        if self.cache is not None:
+            self.cache.store(point, value, digest=digest)
+
+    def _run_serial(self, points, pending, start) -> "dict[str, object]":
+        """In-process execution, in sweep order, failing fast — exactly
+        the pre-engine driver behavior at ``retries=0``."""
+        executed: "dict[str, object]" = {}
+        for digest, slots in pending.items():
+            point = points[slots[0]]
+            attempts = 0
+            while True:
+                try:
+                    tick = time.perf_counter()
+                    value = execute_point(point)
+                    seconds = time.perf_counter() - tick
+                    break
+                except Exception:
+                    attempts += 1
+                    if attempts > self.retries:
+                        self.registry.counter("runner.points.failed").inc()
+                        raise
+                    self.registry.counter("runner.points.retried").inc()
+            executed[digest] = value
+            self._record_done(point, digest, value, seconds, start)
+        return executed
+
+    def _run_parallel(self, points, pending, start) -> "dict[str, object]":
+        """Process-pool execution with per-point retry and a progress
+        timeout; the sweep always drains, then the earliest failure by
+        point order (if any) is re-raised."""
+        registry = self.registry
+        order = {digest: slots[0] for digest, slots in pending.items()}
+        executed: "dict[str, object]" = {}
+        failures: "dict[str, BaseException]" = {}
+        attempts: "dict[str, int]" = {digest: 0 for digest in pending}
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_timed, points[slots[0]]): digest
+                for digest, slots in pending.items()
+            }
+            while futures:
+                done, _ = wait(futures, timeout=self.timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    for future in futures:
+                        future.cancel()
+                    raise PointTimeoutError(
+                        f"no sweep point completed within {self.timeout}s "
+                        f"({len(futures)} outstanding; first: "
+                        f"{self._describe(points, pending, futures)})"
+                    )
+                for future in done:
+                    digest = futures.pop(future)
+                    point = points[pending[digest][0]]
+                    try:
+                        value, seconds = future.result()
+                    except Exception as exc:
+                        attempts[digest] += 1
+                        if attempts[digest] <= self.retries:
+                            registry.counter("runner.points.retried").inc()
+                            retry = pool.submit(_execute_timed, point)
+                            futures[retry] = digest
+                            continue
+                        registry.counter("runner.points.failed").inc()
+                        failures[digest] = exc
+                        continue
+                    executed[digest] = value
+                    self._record_done(point, digest, value, seconds, start)
+        if failures:
+            digest = min(failures, key=order.__getitem__)
+            point = points[order[digest]]
+            raise RunnerError(
+                f"{len(failures)} sweep point(s) failed; first by sweep "
+                f"order: {point.label or point.kind}"
+            ) from failures[digest]
+        return executed
+
+    @staticmethod
+    def _describe(points, pending, futures) -> str:
+        digest = next(iter(futures.values()))
+        point = points[pending[digest][0]]
+        return point.label or point.kind
+
+
+# ----------------------------------------------------------------------
+# The process-wide default runner experiment drivers fall back to.
+# ----------------------------------------------------------------------
+_default_runner: "SweepRunner | None" = None
+
+
+def get_default_runner() -> SweepRunner:
+    """The runner drivers use when none is passed explicitly: serial,
+    uncached, in-process — today's behavior — unless the CLI (or a
+    caller) installed something richer via :func:`set_default_runner`."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner(jobs=1)
+    return _default_runner
+
+
+def set_default_runner(runner: "SweepRunner | None") -> "SweepRunner | None":
+    """Install (or, with ``None``, reset) the process default; returns
+    the previous default so callers can restore it."""
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous
+
+
+@contextlib.contextmanager
+def using_runner(runner: SweepRunner):
+    """Scope a default runner to a ``with`` block."""
+    previous = set_default_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_default_runner(previous)

@@ -1,0 +1,74 @@
+"""Sweep points: the unit of work the sweep engine schedules and caches.
+
+A :class:`SweepPoint` is a *description* of one simulation — which
+executor to invoke (``kind``), which workload kernel at which scale,
+the dynamic-instruction limit, the full machine configuration, and any
+executor-specific knobs.  Points are plain frozen dataclasses built
+from configuration dataclasses, so they pickle across process
+boundaries and canonicalize into a stable content digest
+(:func:`repro.runner.digest.point_digest`) — the key of the on-disk
+result cache.
+
+Fault and seed knobs ride inside ``config`` (a
+:class:`repro.params.SystemConfig` embeds its
+:class:`repro.params.FaultConfig`), so two points that differ only in
+fault seed hash to different cache entries, as they must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One schedulable simulation of a sweep.
+
+    ``label`` is display-only (progress lines, error messages) and is
+    excluded from the content digest: two points differing only in
+    label are the same simulation and share one cache entry.
+    """
+
+    #: Registered executor name (see :mod:`repro.runner.executors`).
+    kind: str
+    #: Workload kernel name (``None`` for synthetic programs an
+    #: executor builds itself, e.g. Figure 3's pointer chase).
+    workload: "str | None" = None
+    #: Workload scale factor.
+    scale: int = 1
+    #: Dynamic-instruction cap (``None`` = run to completion).
+    limit: "int | None" = None
+    #: The machine configuration the executor consumes — a
+    #: :class:`~repro.params.SystemConfig`,
+    #: :class:`~repro.params.TraditionalConfig`,
+    #: :class:`~repro.params.CPUConfig`, or
+    #: :class:`~repro.params.CacheConfig` depending on ``kind``.
+    config: object = None
+    #: Executor-specific extras as name-sorted ``(name, value)`` pairs
+    #: (kept as a tuple so the point stays frozen and picklable).
+    knobs: "tuple[tuple[str, object], ...]" = ()
+    #: Human-readable tag, excluded from the digest.
+    label: str = ""
+
+    @classmethod
+    def make(cls, kind: str, workload: "str | None" = None, *,
+             scale: int = 1, limit: "int | None" = None,
+             config: object = None, label: str = "",
+             **knobs: object) -> "SweepPoint":
+        """Build a point with keyword knobs (order-insensitive)."""
+        return cls(
+            kind=kind,
+            workload=workload,
+            scale=scale,
+            limit=limit,
+            config=config,
+            knobs=tuple(sorted(knobs.items())),
+            label=label or (f"{kind}/{workload}" if workload else kind),
+        )
+
+    def knob(self, name: str, default: object = None) -> object:
+        """Look up one knob by name."""
+        for key, value in self.knobs:
+            if key == name:
+                return value
+        return default

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from ..errors import ReproError
 from . import (
     applu,
+    common,
     compress,
     fpppp,
     gcc,
@@ -34,10 +35,17 @@ class Workload:
     module: object
 
     def build(self, scale: int = 1):
-        """Build the program at the given scale factor."""
+        """Build the program at the given scale factor.
+
+        Builds are memoized per ``(name, scale)`` — kernels are pure
+        functions of their scale and programs are immutable after
+        assembly, so repeated sweeps share one build per process (see
+        :func:`repro.workloads.common.shared_program`).
+        """
         if scale < 1:
             raise ReproError(f"scale must be >= 1, got {scale}")
-        return self.module.build(scale)
+        return common.shared_program(self.name, scale,
+                                     lambda: self.module.build(scale))
 
 
 _REGISTRY = [

@@ -11,6 +11,35 @@ from __future__ import annotations
 
 from ..isa.builder import ProgramBuilder
 
+#: (name, scale) -> assembled Program.  Kernels are pure functions of
+#: their scale and Programs are immutable after assembly (branch targets
+#: resolve once, inside ``ProgramBuilder.build``), so one build can be
+#: shared by every system that executes it — Figure 7 already runs five
+#: systems over one Program per benchmark.
+_PROGRAM_CACHE: "dict[tuple[str, int], object]" = {}
+
+
+def shared_program(name: str, scale: int, builder):
+    """Memoize ``builder()`` under ``(name, scale)``.
+
+    All program construction funnels through here (via
+    :meth:`repro.workloads.Workload.build`), so a sweep that touches the
+    same benchmark at the same scale dozens of times assembles it once
+    per process.
+    """
+    key = (name, scale)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = builder()
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def clear_program_cache() -> None:
+    """Drop every memoized program (tests; memory-pressure escape hatch)."""
+    _PROGRAM_CACHE.clear()
+
+
 #: Multiplier/increment of the in-register LCG (Numerical Recipes').
 LCG_MULT = 1664525
 LCG_INC = 1013904223

@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_sweep_cache(tmp_path, monkeypatch):
+    """Point the sweep-result cache at a per-test directory.
+
+    Tests that drive the experiments CLI (which caches by default) must
+    neither read from nor write to the developer's real
+    ``~/.cache/repro-sweeps``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep-cache"))

@@ -1,0 +1,132 @@
+"""Content addressing: canonicalization, digests, fingerprints."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.config import datascalar_config, timing_node_config
+from repro.params import CacheConfig, FaultConfig
+from repro.runner import (SweepPoint, canonicalize, code_version,
+                          point_digest, result_fingerprint)
+from repro.runner.digest import point_payload
+
+
+def test_canonicalize_scalars_pass_through():
+    for value in (None, True, 3, 2.5, "x"):
+        assert canonicalize(value) == value
+
+
+def test_canonicalize_dataclass_is_stable_and_typed():
+    config = CacheConfig(size_bytes=1024, assoc=2, line_size=32)
+    out = canonicalize(config)
+    assert out["__type__"].endswith("CacheConfig")
+    assert out["fields"]["size_bytes"] == 1024
+    # Two separately constructed but equal configs canonicalize equally.
+    assert out == canonicalize(CacheConfig(size_bytes=1024, assoc=2,
+                                           line_size=32))
+
+
+def test_canonicalize_rejects_unknown_objects():
+    class Opaque:
+        __slots__ = ()
+
+    with pytest.raises(TypeError):
+        canonicalize(Opaque())
+
+
+def test_point_digest_is_deterministic():
+    config = datascalar_config(2)
+    a = SweepPoint.make("datascalar", "compress", limit=100, config=config)
+    b = SweepPoint.make("datascalar", "compress", limit=100,
+                        config=datascalar_config(2))
+    assert point_digest(a) == point_digest(b)
+
+
+def test_point_digest_sensitive_to_every_input():
+    base = SweepPoint.make("datascalar", "compress", limit=100,
+                           config=datascalar_config(2))
+    variants = [
+        SweepPoint.make("traditional", "compress", limit=100,
+                        config=datascalar_config(2)),
+        SweepPoint.make("datascalar", "go", limit=100,
+                        config=datascalar_config(2)),
+        SweepPoint.make("datascalar", "compress", limit=200,
+                        config=datascalar_config(2)),
+        SweepPoint.make("datascalar", "compress", scale=2, limit=100,
+                        config=datascalar_config(2)),
+        SweepPoint.make("datascalar", "compress", limit=100,
+                        config=datascalar_config(4)),
+        SweepPoint.make("datascalar", "compress", limit=100,
+                        config=datascalar_config(2), hops=3),
+    ]
+    digests = {point_digest(p) for p in variants}
+    assert point_digest(base) not in digests
+    assert len(digests) == len(variants)
+
+
+def test_fault_seed_reaches_the_digest():
+    node = timing_node_config()
+    base = datascalar_config(2, node=node)
+    seeded = dataclasses.replace(
+        base, faults=FaultConfig(seed=7, receiver_drop_prob=0.01))
+    reseeded = dataclasses.replace(
+        base, faults=FaultConfig(seed=8, receiver_drop_prob=0.01))
+    digests = {
+        point_digest(SweepPoint.make("datascalar", "compress",
+                                     config=config))
+        for config in (base, seeded, reseeded)
+    }
+    assert len(digests) == 3
+
+
+def test_label_is_display_only():
+    config = datascalar_config(2)
+    a = SweepPoint.make("datascalar", "compress", config=config, label="a")
+    b = SweepPoint.make("datascalar", "compress", config=config, label="b")
+    assert point_digest(a) == point_digest(b)
+    assert "label" not in point_payload(a)
+
+
+def test_knob_order_does_not_matter():
+    a = SweepPoint.make("datathread", "go", num_nodes=4, page_size=1024)
+    b = SweepPoint.make("datathread", "go", page_size=1024, num_nodes=4)
+    assert point_digest(a) == point_digest(b)
+    assert a.knob("num_nodes") == 4
+    assert a.knob("missing", "fallback") == "fallback"
+
+
+def test_code_version_changes_the_digest():
+    point = SweepPoint.make("perfect", "compress")
+    assert point_digest(point, "v1") != point_digest(point, "v2")
+
+
+def test_code_version_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+    assert code_version() == "pinned"
+    monkeypatch.delenv("REPRO_CODE_VERSION")
+    computed = code_version()
+    assert computed and computed != "pinned"
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ReproError):
+        from repro.workloads import build_program
+
+        build_program("compress", 0)
+
+
+def test_result_fingerprint_covers_slots_objects():
+    from repro.cpu.pipeline import PipelineStats
+
+    stats = PipelineStats()
+    stats.committed = 5
+    out = result_fingerprint(stats)
+    assert out["committed"] == 5
+    other = PipelineStats()
+    other.committed = 5
+    assert result_fingerprint(other) == out
+    other.loads = 1
+    assert result_fingerprint(other) != out

@@ -1,0 +1,173 @@
+"""The sweep engine: ordering, bit-identity, dedup, failures, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PointTimeoutError, ReproError, RunnerError
+from repro.experiments.config import datascalar_config, timing_node_config, \
+    traditional_config
+from repro.runner import (ResultCache, SweepPoint, SweepRunner,
+                          execute_point, get_default_runner,
+                          result_fingerprint, set_default_runner,
+                          using_runner)
+from repro.runner.executors import EXECUTORS
+
+LIMIT = 1500
+
+
+def _mixed_points():
+    node = timing_node_config()
+    return [
+        SweepPoint.make("perfect", "compress", limit=LIMIT,
+                        config=node.cpu),
+        SweepPoint.make("datascalar", "compress", limit=LIMIT,
+                        config=datascalar_config(2, node=node)),
+        SweepPoint.make("traditional", "compress", limit=LIMIT,
+                        config=traditional_config(2, node=node)),
+        SweepPoint.make("datascalar", "go", limit=LIMIT,
+                        config=datascalar_config(2, node=node)),
+    ]
+
+
+def test_unknown_kind_is_a_typed_error():
+    with pytest.raises(ReproError, match="unknown sweep-point kind"):
+        execute_point(SweepPoint.make("nope"))
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(RunnerError):
+        SweepRunner(jobs=-2)
+
+
+def test_results_come_back_in_point_order():
+    points = _mixed_points()
+    results = SweepRunner(jobs=1).run(points)
+    assert len(results) == len(points)
+    # Each result matches a direct, runner-free execution of its point.
+    for point, result in zip(points, results):
+        assert result_fingerprint(result) == \
+            result_fingerprint(execute_point(point))
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    points = _mixed_points()
+    serial = SweepRunner(jobs=1).run(points)
+    parallel = SweepRunner(jobs=2).run(points)
+    for a, b in zip(serial, parallel):
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_cached_matches_executed_bit_for_bit(tmp_path):
+    points = _mixed_points()
+    cache = ResultCache(tmp_path, code_version="v")
+    cold = SweepRunner(jobs=1, cache=cache).run(points)
+    warm_runner = SweepRunner(jobs=1, cache=cache)
+    warm = warm_runner.run(points)
+    assert warm_runner.registry.counter("runner.points.executed").value == 0
+    for a, b in zip(cold, warm):
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_identical_points_execute_once():
+    point = _mixed_points()[1]
+    runner = SweepRunner(jobs=1)
+    results = runner.run([point, point, point])
+    assert results[0] is results[1] is results[2]
+    registry = runner.registry
+    assert registry.counter("runner.points.executed").value == 1
+    assert registry.counter("runner.points.deduped").value == 2
+
+
+def test_serial_failure_propagates_unchanged():
+    runner = SweepRunner(jobs=1)
+    with pytest.raises(ReproError, match="unknown sweep-point kind"):
+        runner.run([SweepPoint.make("bogus")])
+    assert runner.registry.counter("runner.points.failed").value == 1
+
+
+def test_parallel_failure_is_deterministic_and_chained():
+    points = [
+        _mixed_points()[0],
+        SweepPoint.make("bogus-a", label="first-bad"),
+        SweepPoint.make("bogus-b", label="second-bad"),
+    ]
+    runner = SweepRunner(jobs=2)
+    with pytest.raises(RunnerError, match="first-bad") as excinfo:
+        runner.run(points)
+    assert isinstance(excinfo.value.__cause__, ReproError)
+
+
+def _flaky(point):
+    """Fails on the first attempt per process, then succeeds."""
+    counts = _flaky.__dict__.setdefault("counts", {"n": 0})
+    counts["n"] += 1
+    if counts["n"] == 1:
+        raise ValueError("transient")
+    return "ok"
+
+
+def test_serial_retry_recovers():
+    EXECUTORS["flaky"] = _flaky
+    try:
+        _flaky.__dict__.pop("counts", None)
+        runner = SweepRunner(jobs=1, retries=1)
+        assert runner.run([SweepPoint.make("flaky")]) == ["ok"]
+        assert runner.registry.counter("runner.points.retried").value == 1
+        assert runner.registry.counter("runner.points.failed").value == 0
+    finally:
+        EXECUTORS.pop("flaky", None)
+
+
+def test_serial_retries_exhaust():
+    EXECUTORS["alwaysbad"] = lambda point: (_ for _ in ()).throw(
+        ValueError("permanent"))
+    try:
+        runner = SweepRunner(jobs=1, retries=2)
+        with pytest.raises(ValueError, match="permanent"):
+            runner.run([SweepPoint.make("alwaysbad")])
+        assert runner.registry.counter("runner.points.retried").value == 2
+        assert runner.registry.counter("runner.points.failed").value == 1
+    finally:
+        EXECUTORS.pop("alwaysbad", None)
+
+
+def test_metrics_surface_through_registry(tmp_path):
+    points = _mixed_points()
+    cache = ResultCache(tmp_path, code_version="v")
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run(points)
+    runner.run(points)
+    metrics = runner.registry.as_dict()
+    assert metrics["runner.points.total"] == 2 * len(points)
+    assert metrics["runner.points.executed"] == len(points)
+    assert metrics["runner.cache.hit"] == len(points)
+    assert metrics["runner.cache.miss"] == len(points)
+    assert metrics["runner.point_seconds"]["count"] == len(points)
+    assert len(metrics["runner.completed_at"]) == len(points)
+    assert metrics["runner.wall_seconds"] > 0
+
+
+def test_summary_line_is_greppable(tmp_path):
+    cache = ResultCache(tmp_path, code_version="v")
+    runner = SweepRunner(jobs=1, cache=cache)
+    runner.run([_mixed_points()[0]])
+    warm = SweepRunner(jobs=1, cache=cache)
+    warm.run([_mixed_points()[0]])
+    line = warm.summary()
+    assert line.startswith("[runner] jobs=1 ")
+    assert "cache_hit_rate=100%" in line
+
+
+def test_default_runner_roundtrip():
+    assert get_default_runner().jobs == 1
+    custom = SweepRunner(jobs=1)
+    with using_runner(custom) as active:
+        assert active is custom
+        assert get_default_runner() is custom
+    assert get_default_runner() is not custom
+
+
+def test_timeout_error_type_exists():
+    assert issubclass(PointTimeoutError, RunnerError)
+    assert issubclass(RunnerError, ReproError)
