@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..cpu.pipeline import DEADLOCK_CYCLES, Pipeline, PipelineStats
 from ..errors import ProtocolError, SimulationError
 from ..interconnect.medium import make_medium
+from ..isa.codegen import make_trace_source
 from ..isa.fanout import fan_out
 from ..isa.interpreter import Interpreter
 from ..memory.layout import LayoutSpec, build_page_table
@@ -129,8 +130,11 @@ class DataScalarSystem:
         """One dynamic stream per node.
 
         SPSD nodes consume the identical stream, so the default runs a
-        single functional interpreter and fans its records out to all
-        nodes (O(I) interpretation instead of O(N·I)).  Subclasses that
+        single functional front end and fans its records out to all
+        nodes (O(I) interpretation instead of O(N·I)).  The front end —
+        predecoded-closure interpreter or program-specialized generated
+        code (:mod:`repro.isa.codegen`) — is chosen by
+        ``config.engine``; both are bit-identical.  Subclasses that
         override :meth:`_make_trace` (asymmetric per-node streams, e.g.
         result communication) keep one interpreter per node.
         """
@@ -138,7 +142,9 @@ class DataScalarSystem:
         if type(self)._make_trace is not DataScalarSystem._make_trace:
             return [self._make_trace(program, node_id, limit)
                     for node_id in range(num_nodes)]
-        return fan_out(Interpreter(program).trace(limit=limit), num_nodes)
+        return fan_out(make_trace_source(program, limit=limit,
+                                         engine=self.config.engine),
+                       num_nodes)
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024,

@@ -33,23 +33,36 @@ from .table2 import format_table2, run_table2
 from .table3 import format_table3, run_table3
 from .traced import format_traced, run_traced
 
-#: name -> (runner(limit), formatter, exportable-rows?)
+#: name -> (runner(limit, engine), formatter, exportable-rows?).
+#: ``engine`` is the ``--engine`` functional-front-end override; the
+#: analytic/trace experiments that never build a DataScalar system
+#: (figure1, table2, resilience, traced-run) simply ignore it.
 EXPERIMENTS = {
-    "scaling": (lambda limit: run_scaling(limit=limit), format_scaling,
-                True),
-    "figure1": (lambda limit: run_figure1(), format_figure1, False),
-    "figure3": (lambda limit: run_figure3(limit=limit), format_figure3,
+    "scaling": (lambda limit, engine: run_scaling(limit=limit,
+                                                  engine=engine),
+                format_scaling, True),
+    "figure1": (lambda limit, engine: run_figure1(), format_figure1,
                 False),
-    "table1": (lambda limit: run_table1(limit=limit), format_table1, True),
-    "table2": (lambda limit: run_table2(limit=limit), format_table2, True),
-    "table3": (lambda limit: run_table3(limit=limit), format_table3, True),
-    "figure7": (lambda limit: run_figure7(limit=limit), format_figure7,
-                True),
-    "figure8": (lambda limit: run_figure8(limit=limit), format_figure8,
-                False),
-    "resilience": (lambda limit: run_resilience(limit=limit or 2500),
+    "figure3": (lambda limit, engine: run_figure3(limit=limit,
+                                                  engine=engine),
+                format_figure3, False),
+    "table1": (lambda limit, engine: run_table1(limit=limit,
+                                                engine=engine),
+               format_table1, True),
+    "table2": (lambda limit, engine: run_table2(limit=limit),
+               format_table2, True),
+    "table3": (lambda limit, engine: run_table3(limit=limit,
+                                                engine=engine),
+               format_table3, True),
+    "figure7": (lambda limit, engine: run_figure7(limit=limit,
+                                                  engine=engine),
+                format_figure7, True),
+    "figure8": (lambda limit, engine: run_figure8(limit=limit,
+                                                  engine=engine),
+                format_figure8, False),
+    "resilience": (lambda limit, engine: run_resilience(limit=limit or 2500),
                    format_resilience, True),
-    "traced-run": (lambda limit: run_traced(limit=limit or 2500),
+    "traced-run": (lambda limit, engine: run_traced(limit=limit or 2500),
                    format_traced, False),
 }
 
@@ -69,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the sweep runner "
                              "(default: all CPUs; 1 = classic serial "
                              "in-process execution)")
+    parser.add_argument("--engine", default=None,
+                        choices=("interpreter", "codegen"),
+                        help="functional front end for the simulated "
+                             "points (default: each config's own choice, "
+                             "normally auto = codegen with interpreter "
+                             "fallback); rides on SweepPoint.knobs so "
+                             "both engines cache as distinct results")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed result cache "
                              "(every point re-simulates)")
@@ -102,7 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
-            drop_prob=None, trace_out=None, metrics_out=None) -> str:
+            drop_prob=None, trace_out=None, metrics_out=None,
+            engine=None) -> str:
     runner, formatter, exportable = EXPERIMENTS[name]
     if name == "resilience":
         probs = DROP_PROBS if drop_prob is None else (0.0, drop_prob)
@@ -112,7 +133,7 @@ def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
         result = run_traced(limit=limit or 2500, trace_out=trace_out,
                             metrics_out=metrics_out)
     else:
-        result = runner(limit)
+        result = runner(limit, engine)
     if csv_path:
         if not exportable:
             raise SystemExit(f"{name} does not produce exportable rows")
@@ -152,7 +173,8 @@ def main(argv=None) -> int:
                               fault_seed=args.fault_seed,
                               drop_prob=args.drop_prob,
                               trace_out=args.trace_out,
-                              metrics_out=args.metrics_out))
+                              metrics_out=args.metrics_out,
+                              engine=args.engine))
                 print()
             except Exception as exc:
                 # Under `all`, one broken experiment must not take the

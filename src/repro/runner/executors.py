@@ -48,15 +48,29 @@ def _program(point: SweepPoint):
     return build_program(point.workload, point.scale)
 
 
+def _engine_config(point: SweepPoint):
+    """The point's :class:`~repro.params.SystemConfig`, with an
+    ``engine`` knob (the ``--engine`` CLI flag / sweep A-B switch)
+    folded in.  The knob is digest-visible either way — as a knob and,
+    once folded, as a config field."""
+    engine = point.knob("engine")
+    if engine is None:
+        return point.config
+    import dataclasses
+
+    return dataclasses.replace(point.config, engine=engine)
+
+
 @executor("datascalar")
 def _run_datascalar(point: SweepPoint):
     """A full DataScalar timing run (``config``:
     :class:`~repro.params.SystemConfig` — fault injection included when
-    the config carries a :class:`~repro.params.FaultConfig`)."""
+    the config carries a :class:`~repro.params.FaultConfig`; knob
+    ``engine`` overrides the config's functional front end)."""
     from ..core.system import DataScalarSystem
 
-    return DataScalarSystem(point.config).run(_program(point),
-                                              limit=point.limit)
+    return DataScalarSystem(_engine_config(point)).run(_program(point),
+                                                       limit=point.limit)
 
 
 @executor("traditional")
@@ -82,11 +96,13 @@ def _run_perfect(point: SweepPoint):
 @executor("esp-traffic")
 def _run_esp_traffic(point: SweepPoint):
     """Table 1's trace-level traffic filter (``config``: the
-    measurement :class:`~repro.params.CacheConfig`)."""
+    measurement :class:`~repro.params.CacheConfig`; knob ``engine``
+    selects the functional front end)."""
     from ..analysis.traffic import measure_esp_traffic
 
     return measure_esp_traffic(_program(point), cache_config=point.config,
-                               limit=point.limit)
+                               limit=point.limit,
+                               engine=point.knob("engine", "auto"))
 
 
 @executor("datathread")
@@ -108,7 +124,8 @@ def _run_datathread(point: SweepPoint):
 @executor("figure3")
 def _run_figure3(point: SweepPoint):
     """Figure 3's pointer-chase microbenchmark on either system —
-    dispatched on the config's type (knob: ``hops``)."""
+    dispatched on the config's type (knobs: ``hops``; ``engine`` for
+    the DataScalar side)."""
     from ..baseline.traditional import TraditionalSystem
     from ..core.system import DataScalarSystem
     from ..experiments.figure3 import _chain_program
@@ -118,7 +135,7 @@ def _run_figure3(point: SweepPoint):
     if isinstance(point.config, TraditionalConfig):
         system = TraditionalSystem(point.config)
     else:
-        system = DataScalarSystem(point.config)
+        system = DataScalarSystem(_engine_config(point))
     return system.run(program, limit=point.limit)
 
 

@@ -167,3 +167,72 @@ def test_fast_forward_flag_disables_skipping():
         dataclasses.replace(config, fast_forward=False)).run(
             program, limit=LIMIT)
     assert _snapshot(fast) == _snapshot(dense)
+
+
+# ----------------------------------------------------------------------
+# The codegen rows: the generated-code front end (engine="codegen",
+# repro.isa.codegen) must be exactly as invisible as fast-forward —
+# against the interpreter, the dense scheduler, faults, and tracing.
+# ----------------------------------------------------------------------
+def _engine(config, engine):
+    return dataclasses.replace(config, engine=engine)
+
+
+@pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_codegen_matches_interpreter(workload, num_nodes):
+    """Same fast-forwarded system, only the front end differs."""
+    program = build_program(workload)
+    config = _config(num_nodes, "bus")
+    generated = DataScalarSystem(
+        _engine(config, "codegen")).run(program, limit=LIMIT)
+    interpreted = DataScalarSystem(
+        _engine(config, "interpreter")).run(program, limit=LIMIT)
+    assert _snapshot(generated) == _snapshot(interpreted)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_codegen_matches_dense(workload):
+    """codegen + fast-forward vs the original dense per-node
+    interpreters: the two optimization layers compose invisibly."""
+    program = build_program(workload)
+    config = _config(2, "bus")
+    generated = DataScalarSystem(
+        _engine(config, "codegen")).run(program, limit=LIMIT)
+    dense = _DenseSystem(
+        dataclasses.replace(config, fast_forward=False)).run(
+            program, limit=LIMIT)
+    assert _snapshot(generated) == _snapshot(dense)
+
+
+def test_codegen_matches_interpreter_under_faults():
+    """The faulty row: the engine choice must not perturb the seeded
+    fault schedule or the recovery ledger."""
+    from repro.params import FaultConfig
+
+    program = build_program("compress")
+    faults = FaultConfig(seed=17, receiver_drop_prob=1e-2,
+                         corrupt_prob=5e-3, jitter_prob=2e-2,
+                         stall_prob=5e-3)
+    config = dataclasses.replace(_config(4, "bus"), faults=faults)
+    generated = DataScalarSystem(
+        _engine(config, "codegen")).run(program, limit=LIMIT)
+    interpreted = DataScalarSystem(
+        _engine(config, "interpreter")).run(program, limit=LIMIT)
+    assert _snapshot(generated) == _snapshot(interpreted)
+    assert generated.extra["faults"] == interpreted.extra["faults"]
+    assert generated.extra["faults"]["recovery"]["recovered"] > 0
+
+
+def test_codegen_tracing_is_bit_identical():
+    """The traced row: tracing a codegen-fed run reports exactly the
+    untraced interpreter-fed numbers."""
+    from repro.obs import EventTracer
+
+    program = build_program("mgrid")
+    config = _config(2, "bus")
+    traced = DataScalarSystem(_engine(config, "codegen")).run(
+        program, limit=LIMIT, tracer=EventTracer())
+    plain = DataScalarSystem(_engine(config, "interpreter")).run(
+        program, limit=LIMIT)
+    assert _snapshot(traced) == _snapshot(plain)
