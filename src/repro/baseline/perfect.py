@@ -49,7 +49,13 @@ class PerfectSystem:
             limit=None) -> PipelineStats:
         """Simulate ``program`` to completion; returns pipeline stats."""
         from ..isa.interpreter import Interpreter
+        from ..obs import spans
 
         trace = Interpreter(program).trace(limit=limit)
+        recorder = spans.active()
+        if recorder is not None:
+            trace = spans.timed_iter(
+                trace, recorder.accumulator("frontend", under="timing-loop"))
         pipeline = Pipeline(self.cpu_config, self.memory, trace)
-        return pipeline.run(max_cycles)
+        with spans.span("timing-loop"):
+            return pipeline.run(max_cycles)

@@ -194,29 +194,38 @@ class TraditionalSystem:
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024) -> TraditionalResult:
+        from ..obs import spans
+
         config = self.config
-        page_table = traditional_page_table(
-            program,
-            denom=config.onchip_fraction_denom,
-            page_size=config.node.memory.page_size,
-            distribution_block_pages=config.distribution_block_pages,
-            replicate_text=config.replicate_text,
-            replicated_pages=replicated_pages,
-            stack_bytes=stack_bytes,
-        )
-        bus = Bus(config.bus)
-        memory = TraditionalMemory(config, page_table, bus)
+        with spans.span("layout"):
+            page_table = traditional_page_table(
+                program,
+                denom=config.onchip_fraction_denom,
+                page_size=config.node.memory.page_size,
+                distribution_block_pages=config.distribution_block_pages,
+                replicate_text=config.replicate_text,
+                replicated_pages=replicated_pages,
+                stack_bytes=stack_bytes,
+            )
         trace = Interpreter(program).trace(limit=limit)
-        pipeline = Pipeline(config.node.cpu, memory, trace,
-                            icache_line=config.node.icache.line_size)
+        recorder = spans.active()
+        if recorder is not None:
+            trace = spans.timed_iter(
+                trace, recorder.accumulator("frontend", under="timing-loop"))
+        with spans.span("setup"):
+            bus = Bus(config.bus)
+            memory = TraditionalMemory(config, page_table, bus)
+            pipeline = Pipeline(config.node.cpu, memory, trace,
+                                icache_line=config.node.icache.line_size)
         cycle = 0
-        while not pipeline.done:
-            if cycle >= config.max_cycles:
-                raise SimulationError(
-                    f"traditional run exceeded {config.max_cycles} cycles"
-                )
-            pipeline.tick(cycle)
-            cycle += 1
+        with spans.span("timing-loop"):
+            while not pipeline.done:
+                if cycle >= config.max_cycles:
+                    raise SimulationError(
+                        f"traditional run exceeded {config.max_cycles} cycles"
+                    )
+                pipeline.tick(cycle)
+                cycle += 1
         memory.validate_final_state()
         return TraditionalResult(
             cycles=cycle,

@@ -12,6 +12,7 @@ altering any reported cycle count or statistic.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..cpu.pipeline import DEADLOCK_CYCLES, Pipeline, PipelineStats
@@ -21,6 +22,7 @@ from ..isa.codegen import make_trace_source
 from ..isa.fanout import fan_out
 from ..isa.interpreter import Interpreter
 from ..memory.layout import LayoutSpec, build_page_table
+from ..obs import spans
 from ..obs.events import EventKind
 from ..params import SystemConfig
 
@@ -142,9 +144,19 @@ class DataScalarSystem:
         if type(self)._make_trace is not DataScalarSystem._make_trace:
             return [self._make_trace(program, node_id, limit)
                     for node_id in range(num_nodes)]
-        return fan_out(make_trace_source(program, limit=limit,
-                                         engine=self.config.engine),
-                       num_nodes)
+        source = make_trace_source(program, limit=limit,
+                                   engine=self.config.engine)
+        recorder = spans.active()
+        if recorder is not None:
+            # The front end is consumed lazily inside the timing loop,
+            # so its wall time is charged to a timing-loop/frontend
+            # accumulator — the number that settles how much of a run
+            # the functional front end actually costs.  Disabled-path
+            # runs never see the wrapper (or its clock reads).
+            source = spans.timed_iter(
+                source, recorder.accumulator("frontend",
+                                             under="timing-loop"))
+        return fan_out(source, num_nodes)
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024,
@@ -197,7 +209,8 @@ class DataScalarSystem:
             replicated_pages=frozenset(replicated_pages),
             stack_bytes=stack_bytes,
         )
-        page_table, layout_summary = build_page_table(program, spec)
+        with spans.span("layout"):
+            page_table, layout_summary = build_page_table(program, spec)
         medium = self._make_medium()
         nodes: "list[DataScalarNode]" = []
 
@@ -219,27 +232,32 @@ class DataScalarSystem:
                 plain_deliver(src, line, arrivals)
 
         pipelines = []
+        # Trace sources are built *outside* the setup span so the
+        # codegen-compile phase (charged inside make_trace_source) and
+        # the timing-loop/frontend accumulator stay direct children of
+        # the point span rather than nesting under setup.
         traces = self._make_traces(program, limit)
-        for node_id in range(config.num_nodes):
-            if config.l2 is not None:
-                from .node_l2 import DataScalarL2Node
+        with spans.span("setup"):
+            for node_id in range(config.num_nodes):
+                if config.l2 is not None:
+                    from .node_l2 import DataScalarL2Node
 
-                node = DataScalarL2Node(
-                    node_id, config.node, config.l2, page_table, medium,
-                    deliver, num_peers=config.num_nodes - 1)
-            else:
-                node = DataScalarNode(
-                    node_id, config.node, page_table, medium,
-                    deliver, num_peers=config.num_nodes - 1)
-            nodes.append(node)
-            pipelines.append(Pipeline(config.node.cpu, node,
-                                      traces[node_id],
-                                      icache_line=config.node.icache.line_size))
-            if tracer is not None:
-                pipelines[-1].attach_tracer(tracer, node_id)
-                node.attach_tracer(tracer)
-        if tracer is not None and hasattr(medium, "attach_tracer"):
-            medium.attach_tracer(tracer)
+                    node = DataScalarL2Node(
+                        node_id, config.node, config.l2, page_table,
+                        medium, deliver, num_peers=config.num_nodes - 1)
+                else:
+                    node = DataScalarNode(
+                        node_id, config.node, page_table, medium,
+                        deliver, num_peers=config.num_nodes - 1)
+                nodes.append(node)
+                pipelines.append(
+                    Pipeline(config.node.cpu, node, traces[node_id],
+                             icache_line=config.node.icache.line_size))
+                if tracer is not None:
+                    pipelines[-1].attach_tracer(tracer, node_id)
+                    node.attach_tracer(tracer)
+            if tracer is not None and hasattr(medium, "attach_tracer"):
+                medium.attach_tracer(tracer)
 
         # Fault mode arms the BSHR wait tripwire and teaches the
         # idle-skip scheduler about medium-level recovery timers; with
@@ -260,29 +278,48 @@ class DataScalarSystem:
                                              getattr(tracer, "next_event",
                                                      None))
 
+        # Wall-clock attribution for the fault layer's per-cycle work:
+        # only armed when both faults and a span recorder are active, so
+        # the plain hot loop is untouched.
+        recorder = spans.active()
+        fault_acc = None
+        if faulted and recorder is not None:
+            fault_acc = recorder.accumulator("fault-recovery",
+                                             under="timing-loop")
+
         # Dense per-cycle ticking is required whenever an observer wants
         # to see every cycle; otherwise skip provably idle cycle ranges.
         fast_forward = config.fast_forward and observer is None
         cycle = 0
-        while not all(p.done for p in pipelines):
-            if cycle >= config.max_cycles:
-                raise SimulationError(
-                    f"DataScalar run exceeded {config.max_cycles} cycles"
-                )
-            if faulted:
-                for node in nodes:
-                    node.bshr.check_timeouts(cycle)
-            for pipeline in pipelines:
-                pipeline.tick(cycle)
-            if observer is not None:
-                observer(cycle, pipelines, nodes, medium)
-            if fast_forward:
-                cycle = self._advance(cycle, pipelines, config, extra_event)
-            else:
-                cycle += 1
+        with spans.span("timing-loop"):
+            while not all(p.done for p in pipelines):
+                if cycle >= config.max_cycles:
+                    raise SimulationError(
+                        f"DataScalar run exceeded {config.max_cycles} "
+                        f"cycles"
+                    )
+                if faulted:
+                    if fault_acc is not None:
+                        tick0 = time.perf_counter()
+                        for node in nodes:
+                            node.bshr.check_timeouts(cycle)
+                        fault_acc.add(time.perf_counter() - tick0)
+                    else:
+                        for node in nodes:
+                            node.bshr.check_timeouts(cycle)
+                for pipeline in pipelines:
+                    pipeline.tick(cycle)
+                if observer is not None:
+                    observer(cycle, pipelines, nodes, medium)
+                if fast_forward:
+                    cycle = self._advance(cycle, pipelines, config,
+                                          extra_event)
+                else:
+                    cycle += 1
 
-        return self._collect(cycle, pipelines, nodes, medium, page_table,
-                             layout_summary)
+        with spans.span("analysis"):
+            return self._collect(cycle, pipelines, nodes, medium,
+                                 page_table, layout_summary)
 
     @staticmethod
     def _chain_events(first, second):

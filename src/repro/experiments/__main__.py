@@ -118,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="traced-run only: write the metrics report "
                              "to PATH as text")
+    parser.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write a run manifest (JSON: environment, "
+                             "code version, per-point wall/CPU/phase "
+                             "breakdown, cache state, metrics snapshot) "
+                             "after the sweep; gate it with "
+                             "python -m repro.obs.baseline")
+    parser.add_argument("--sweep-trace-out", default=None, metavar="PATH",
+                        help="write every executed point's phase spans as "
+                             "one Chrome trace_event JSON with a track per "
+                             "worker (open in Perfetto/chrome://tracing)")
+    parser.add_argument("--progress", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="live sweep progress line on stderr "
+                             "(default: auto — on only when stderr is "
+                             "a TTY)")
     return parser
 
 
@@ -145,7 +160,30 @@ def _build_runner(args) -> SweepRunner:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    telemetry = bool(args.report_out or args.sweep_trace_out)
+    return SweepRunner(jobs=args.jobs, cache=cache,
+                       progress=args.progress, telemetry=telemetry)
+
+
+def _write_reports(args, sweep_runner) -> None:
+    """``--report-out`` / ``--sweep-trace-out`` output, after the sweep."""
+    if args.report_out:
+        from ..runner.manifest import RunManifest
+
+        manifest = RunManifest.from_runner(sweep_runner)
+        manifest.write(args.report_out)
+        print(f"{manifest.summary()} -> {args.report_out}",
+              file=sys.stderr)
+    if args.sweep_trace_out:
+        from ..obs.export import write_spans_chrome_trace
+        from ..runner.telemetry import worker_tracks
+
+        tracks = worker_tracks(sweep_runner.point_telemetry)
+        write_spans_chrome_trace(args.sweep_trace_out, tracks)
+        events = sum(len(records) for _, records in tracks)
+        print(f"[sweep-trace] {len(tracks)} worker track(s), "
+              f"{events} span(s) -> {args.sweep_trace_out}",
+              file=sys.stderr)
 
 
 def main(argv=None) -> int:
@@ -194,6 +232,7 @@ def main(argv=None) -> int:
                   f"(inspect with: python -m pstats {args.profile})",
                   file=sys.stderr)
     print(sweep_runner.summary())
+    _write_reports(args, sweep_runner)
     if failures:
         failed = ", ".join(name for name, _ in failures)
         print(f"[failed] {len(failures)} of {len(names)} experiments: "

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 
 from ...memory.address import STACK_TOP
+from ...obs.spans import span
 from ..interpreter import (ExecResult, Interpreter, _to_signed, _trunc_div,
                            _trunc_rem)
 from ..opcodes import Opcode
@@ -126,7 +127,10 @@ def compile_program(program, spec: CodegenSpec = CodegenSpec()):
     key = (program_digest(program), spec)
     compiled = _COMPILED_CACHE.get(key)
     if compiled is None:
-        compiled = CompiledProgram(program, spec)
+        # Only real specializations are charged to the codegen-compile
+        # phase; memoized lookups cost (and record) nothing.
+        with span("codegen-compile"):
+            compiled = CompiledProgram(program, spec)
         _COMPILED_CACHE[key] = compiled
     return compiled
 

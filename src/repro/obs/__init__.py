@@ -10,9 +10,15 @@ This package is the simulator's instrumentation layer:
 * :mod:`repro.obs.metrics` — the hierarchical :class:`MetricsRegistry`
   (counters, gauges, histograms, series) behind every stat report;
 * :mod:`repro.obs.divergence` — SPSD lockstep checking that pinpoints
-  the first divergent event instead of a bit-mismatch at end of run; and
+  the first divergent event instead of a bit-mismatch at end of run;
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
-  JSONL exporters.
+  JSONL exporters;
+* :mod:`repro.obs.spans` — hierarchical wall/CPU phase spans (the
+  per-point phase breakdown behind sweep telemetry and run manifests);
+  and
+* :mod:`repro.obs.baseline` — the perf-regression gate
+  (``python -m repro.obs.baseline manifest.json --against
+  BENCH_sweep.json``).
 
 Entry points: ``DataScalarSystem.run(..., tracer=EventTracer())`` and
 ``python -m repro.experiments traced-run --trace-out trace.json
@@ -23,10 +29,12 @@ from .divergence import Divergence, DivergenceError, assert_lockstep, check_lock
 from .events import EventKind, TraceEvent
 from .export import (
     from_jsonl,
+    spans_to_chrome_trace,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_spans_chrome_trace,
 )
 from .metrics import (
     Counter,
@@ -37,6 +45,7 @@ from .metrics import (
     format_metrics,
     registry_from_result,
 )
+from .spans import SpanRecord, SpanRecorder, recording, span
 from .tracer import EventTracer, NullTracer, SamplingTracer, Tracer
 
 __all__ = [
@@ -51,15 +60,21 @@ __all__ = [
     "NullTracer",
     "SamplingTracer",
     "Series",
+    "SpanRecord",
+    "SpanRecorder",
     "TraceEvent",
     "Tracer",
     "assert_lockstep",
     "check_lockstep",
     "format_metrics",
     "from_jsonl",
+    "recording",
     "registry_from_result",
+    "span",
+    "spans_to_chrome_trace",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "write_spans_chrome_trace",
 ]

@@ -184,6 +184,77 @@ def write_chrome_trace(path: str, events: "list[TraceEvent]") -> None:
         handle.write("\n")
 
 
+def spans_to_chrome_trace(
+    tracks: "list[tuple[str, list[dict]]]",
+) -> dict:
+    """Chrome ``trace_event`` document from per-worker span records.
+
+    ``tracks`` is ``[(track_name, records), ...]`` where each record is
+    a :func:`repro.obs.spans.records_as_dicts` dict with an epoch
+    ``start``.  Every track becomes its own process (one per sweep
+    worker), timestamps are microseconds relative to the earliest span
+    anywhere, so a whole multi-process sweep reads as one flamegraph in
+    ``chrome://tracing`` / Perfetto.  Plain spans land on ``tid 0``
+    (properly nested in time, so they stack); accumulator records
+    (``count != 1`` — summed non-contiguous intervals) land on ``tid
+    1`` where their duration reads as a *total*, not an extent.
+    """
+    rows: "list[dict]" = []
+    starts = [
+        float(record["start"])
+        for _, records in tracks
+        for record in records
+    ]
+    base = min(starts) if starts else 0.0
+    for pid, (name, records) in enumerate(tracks):
+        rows.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        for tid, thread in ((0, "spans"), (1, "accumulated")):
+            rows.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        for record in records:
+            accumulated = int(record.get("count", 1)) != 1
+            rows.append(
+                {
+                    "ph": "X",
+                    "name": str(record["name"]),
+                    "cat": "span",
+                    "pid": pid,
+                    "tid": 1 if accumulated else 0,
+                    "ts": (float(record["start"]) - base) * 1e6,
+                    "dur": max(1.0, float(record["wall"]) * 1e6),
+                    "args": {
+                        "path": record["path"],
+                        "cpu_seconds": record["cpu"],
+                        "count": record["count"],
+                    },
+                }
+            )
+    return {"traceEvents": rows, "displayTimeUnit": "ms"}
+
+
+def write_spans_chrome_trace(
+    path: str, tracks: "list[tuple[str, list[dict]]]"
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(spans_to_chrome_trace(tracks), handle)
+        handle.write("\n")
+
+
 def to_jsonl(events: "list[TraceEvent]") -> str:
     """One JSON object per line, in emission order."""
     return "\n".join(json.dumps(event.as_record()) for event in events)

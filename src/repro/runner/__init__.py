@@ -16,18 +16,28 @@ from .digest import (canonicalize, code_version, point_digest,
 from .engine import (SweepRunner, get_default_runner, set_default_runner,
                      using_runner)
 from .executors import EXECUTORS, execute_point
+from .manifest import RunManifest
 from .point import SweepPoint
+from .telemetry import (PointTelemetry, ProgressLine, TelemetryReader,
+                        TelemetryWriter, execute_point_task, worker_tracks)
 
 __all__ = [
     "SweepPoint",
     "SweepRunner",
     "ResultCache",
+    "RunManifest",
+    "PointTelemetry",
+    "ProgressLine",
+    "TelemetryReader",
+    "TelemetryWriter",
     "default_cache_dir",
     "canonicalize",
     "code_version",
     "point_digest",
     "result_fingerprint",
     "execute_point",
+    "execute_point_task",
+    "worker_tracks",
     "EXECUTORS",
     "get_default_runner",
     "set_default_runner",

@@ -23,25 +23,26 @@ from __future__ import annotations
 
 import contextlib
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
 from ..errors import PointTimeoutError, RunnerError
+from ..obs import spans
 from ..obs.metrics import MetricsRegistry
 from .cache import ResultCache
 from .digest import point_digest
 from .executors import execute_point
 from .point import SweepPoint
+from .telemetry import (PointTelemetry, ProgressLine, TelemetryReader,
+                        execute_point_task)
 
 __all__ = ["SweepRunner", "get_default_runner", "set_default_runner",
            "using_runner"]
 
-
-def _execute_timed(point: SweepPoint) -> "tuple[object, float]":
-    """Worker task: run one point, report its in-worker seconds."""
-    start = time.perf_counter()
-    result = execute_point(point)
-    return result, time.perf_counter() - start
+#: Seconds between spool polls while the live progress line is on.
+PROGRESS_POLL_SECONDS = 0.2
 
 
 def _prebuild_programs(points: "list[SweepPoint]") -> None:
@@ -69,7 +70,9 @@ class SweepRunner:
                  cache: "ResultCache | None" = None,
                  registry: "MetricsRegistry | None" = None,
                  timeout: "float | None" = None,
-                 retries: int = 0):
+                 retries: int = 0,
+                 progress: "bool | None" = False,
+                 telemetry: bool = False):
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise RunnerError(f"jobs must be >= 1, got {jobs}")
@@ -77,7 +80,16 @@ class SweepRunner:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.timeout = timeout
         self.retries = retries
+        #: ``True``/``False`` force the live progress line on/off;
+        #: ``None`` auto-detects (on only when stderr is a TTY).
+        self.progress = progress
+        #: Collect per-point spans and :class:`PointTelemetry` (the raw
+        #: material for run manifests and merged Chrome traces).
+        self.telemetry = telemetry
         self._wall_seconds = 0.0
+        #: Per-position telemetry across every ``run()`` this runner has
+        #: served, in sweep order (``index`` is the global position).
+        self.point_telemetry: "list[PointTelemetry]" = []
 
     # ------------------------------------------------------------------
     # Public API.
@@ -88,12 +100,14 @@ class SweepRunner:
         registry = self.registry
         registry.counter("runner.points.total").inc(len(points))
         start = time.perf_counter()
+        base = len(self.point_telemetry)
         results: "list[object]" = [None] * len(points)
         code = self.cache.code_version if self.cache is not None else ""
         digests = [point_digest(point, code) for point in points]
 
         # Resolve cache hits and dedup the remainder by digest.
         pending: "dict[str, list[int]]" = {}
+        cached_indices: "list[int]" = []
         for index, (point, digest) in enumerate(zip(points, digests)):
             if self.cache is not None:
                 hit, value = self.cache.load(point, digest=digest)
@@ -101,6 +115,7 @@ class SweepRunner:
                     registry.counter("runner.cache.hit").inc()
                     registry.counter("runner.points.cached").inc()
                     results[index] = value
+                    cached_indices.append(index)
                     continue
                 registry.counter("runner.cache.miss").inc()
             pending.setdefault(digest, []).append(index)
@@ -108,19 +123,69 @@ class SweepRunner:
         if duplicates:
             registry.counter("runner.points.deduped").inc(duplicates)
 
-        if pending:
-            _prebuild_programs([points[slots[0]]
-                                for slots in pending.values()])
-            if self.jobs == 1:
-                executed = self._run_serial(points, pending, start)
-            else:
-                executed = self._run_parallel(points, pending, start)
-            for digest, value in executed.items():
-                for index in pending[digest]:
-                    results[index] = value
+        progress = ProgressLine(len(points), enabled=self.progress)
+        payloads: "dict[str, dict]" = {}
+        try:
+            if pending:
+                _prebuild_programs([points[slots[0]]
+                                    for slots in pending.values()])
+                if self.jobs == 1:
+                    executed = self._run_serial(points, pending, start,
+                                                payloads, progress,
+                                                len(cached_indices))
+                else:
+                    executed = self._run_parallel(points, pending, start,
+                                                  payloads, progress,
+                                                  len(cached_indices))
+                for digest, value in executed.items():
+                    for index in pending[digest]:
+                        results[index] = value
+            elif points:
+                progress.update(len(points), len(cached_indices), 0)
+        finally:
+            progress.finish()
+
+        self._collect_telemetry(points, digests, pending, cached_indices,
+                                payloads, base)
         self._wall_seconds += time.perf_counter() - start
         registry.gauge("runner.wall_seconds").set(self._wall_seconds)
         return results
+
+    def _collect_telemetry(self, points, digests, pending, cached_indices,
+                           payloads, base) -> None:
+        """Append one :class:`PointTelemetry` per sweep position, in
+        sweep order — cached positions with zero cost, deduped
+        positions sharing the executing position's measurements."""
+        rows: "dict[int, PointTelemetry]" = {}
+        for index in cached_indices:
+            rows[index] = self._telemetry_entry(base, index, points[index],
+                                                digests[index], cached=True)
+        for digest, slots in pending.items():
+            payload = payloads.get(digest)
+            if payload is None:
+                continue  # failed (the sweep raises) or timed out
+            for position, index in enumerate(slots):
+                rows[index] = self._telemetry_entry(
+                    base, index, points[index], digest,
+                    deduped=position > 0,
+                    wall=float(payload["wall"]), cpu=float(payload["cpu"]),
+                    worker=payload.get("worker"),
+                    spans=list(payload.get("spans", ())),
+                )
+        self.point_telemetry.extend(rows[index] for index in sorted(rows))
+
+    @staticmethod
+    def _telemetry_entry(base, index, point, digest, **kwargs):
+        return PointTelemetry(
+            index=base + index,
+            label=point.label or point.kind,
+            kind=point.kind,
+            workload=point.workload,
+            scale=point.scale,
+            limit=point.limit,
+            digest=digest,
+            **kwargs,
+        )
 
     def summary(self) -> str:
         """One-line accounting of everything this runner has done."""
@@ -150,17 +215,24 @@ class SweepRunner:
         if self.cache is not None:
             self.cache.store(point, value, digest=digest)
 
-    def _run_serial(self, points, pending, start) -> "dict[str, object]":
+    def _run_serial(self, points, pending, start, payloads,
+                    progress, cached) -> "dict[str, object]":
         """In-process execution, in sweep order, failing fast — exactly
-        the pre-engine driver behavior at ``retries=0``."""
+        the pre-engine driver behavior at ``retries=0`` with telemetry
+        off (``recording(None)`` is a no-op scope)."""
         executed: "dict[str, object]" = {}
+        done_positions = cached
+        slowest: "tuple[str, float] | None" = None
         for digest, slots in pending.items():
             point = points[slots[0]]
             attempts = 0
             while True:
                 try:
+                    recorder = spans.SpanRecorder() if self.telemetry else None
                     tick = time.perf_counter()
-                    value = execute_point(point)
+                    ctick = time.process_time()
+                    with spans.recording(recorder):
+                        value = execute_point(point)
                     seconds = time.perf_counter() - tick
                     break
                 except Exception:
@@ -170,66 +242,158 @@ class SweepRunner:
                         raise
                     self.registry.counter("runner.points.retried").inc()
             executed[digest] = value
+            payloads[digest] = {
+                "label": point.label or point.kind,
+                "wall": seconds,
+                "cpu": time.process_time() - ctick,
+                "worker": None,
+                "spans": spans.records_as_dicts(recorder),
+            }
             self._record_done(point, digest, value, seconds, start)
+            done_positions += len(slots)
+            if slowest is None or seconds > slowest[1]:
+                slowest = (point.label or point.kind, seconds)
+            progress.update(done_positions, cached, 0, slowest)
         return executed
 
-    def _run_parallel(self, points, pending, start) -> "dict[str, object]":
+    def _run_parallel(self, points, pending, start, payloads,
+                      progress, cached) -> "dict[str, object]":
         """Process-pool execution with per-point retry and a progress
         timeout; the sweep always drains, then the earliest failure by
-        point order (if any) is re-raised."""
+        point order (if any) is re-raised.
+
+        Workers spool start/done/error records into a per-worker JSONL
+        file (when telemetry or the progress line is on); the parent
+        polls it between scheduler rounds to keep the progress line
+        live while futures are still in flight.  Authoritative results
+        and span payloads travel in-band through the futures, so spool
+        polling can never change what the sweep returns.
+        """
         registry = self.registry
         order = {digest: slots[0] for digest, slots in pending.items()}
         executed: "dict[str, object]" = {}
         failures: "dict[str, BaseException]" = {}
+        failed_after: "dict[str, float]" = {}
         attempts: "dict[str, int]" = {digest: 0 for digest in pending}
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_timed, points[slots[0]]): digest
-                for digest, slots in pending.items()
-            }
-            while futures:
-                done, _ = wait(futures, timeout=self.timeout,
-                               return_when=FIRST_COMPLETED)
-                if not done:
-                    for future in futures:
-                        future.cancel()
-                    raise PointTimeoutError(
-                        f"no sweep point completed within {self.timeout}s "
-                        f"({len(futures)} outstanding; first: "
-                        f"{self._describe(points, pending, futures)})"
-                    )
-                for future in done:
-                    digest = futures.pop(future)
-                    point = points[pending[digest][0]]
-                    try:
-                        value, seconds = future.result()
-                    except Exception as exc:
-                        attempts[digest] += 1
-                        if attempts[digest] <= self.retries:
-                            registry.counter("runner.points.retried").inc()
-                            retry = pool.submit(_execute_timed, point)
-                            futures[retry] = digest
-                            continue
-                        registry.counter("runner.points.failed").inc()
-                        failures[digest] = exc
+        use_spool = self.telemetry or progress.enabled
+        spool_dir = (tempfile.mkdtemp(prefix="repro-sweep-spool-")
+                     if use_spool else None)
+        reader = TelemetryReader(spool_dir) if spool_dir else None
+        # With live progress on, wake up at a sub-timeout cadence to
+        # poll the spool; a point timeout is then declared on elapsed
+        # time since the last completion, preserving the plain-wait
+        # semantics exactly.
+        wait_timeout = self.timeout
+        if progress.enabled:
+            wait_timeout = (PROGRESS_POLL_SECONDS if self.timeout is None
+                            else min(PROGRESS_POLL_SECONDS, self.timeout))
+        slowest: "tuple[str, float] | None" = None
+        submitted: "dict[str, float]" = {}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for digest, slots in pending.items():
+                    submitted[digest] = time.perf_counter()
+                    futures[pool.submit(execute_point_task, points[slots[0]],
+                                        spool_dir, self.telemetry)] = digest
+                last_completion = time.perf_counter()
+
+                def show_progress() -> None:
+                    if reader is not None:
+                        reader.poll()  # advance offsets; display only
+                    done_positions = cached + sum(
+                        len(pending[digest]) for digest in executed)
+                    progress.update(done_positions, cached, len(futures),
+                                    slowest)
+
+                show_progress()
+                while futures:
+                    done, _ = wait(futures, timeout=wait_timeout,
+                                   return_when=FIRST_COMPLETED)
+                    now = time.perf_counter()
+                    if not done:
+                        if (self.timeout is not None
+                                and now - last_completion >= self.timeout):
+                            for future in futures:
+                                future.cancel()
+                            self._abort_pool(pool)
+                            raise PointTimeoutError(
+                                f"no sweep point completed within "
+                                f"{self.timeout}s ({len(futures)} "
+                                f"outstanding; first by sweep order: "
+                                f"{self._describe(points, pending, futures, submitted)})"
+                            )
+                        show_progress()
                         continue
-                    executed[digest] = value
-                    self._record_done(point, digest, value, seconds, start)
+                    last_completion = now
+                    for future in done:
+                        digest = futures.pop(future)
+                        point = points[pending[digest][0]]
+                        try:
+                            value, payload = future.result()
+                        except Exception as exc:
+                            attempts[digest] += 1
+                            if attempts[digest] <= self.retries:
+                                registry.counter("runner.points.retried").inc()
+                                submitted[digest] = time.perf_counter()
+                                retry = pool.submit(execute_point_task, point,
+                                                    spool_dir, self.telemetry)
+                                futures[retry] = digest
+                                continue
+                            registry.counter("runner.points.failed").inc()
+                            failures[digest] = exc
+                            failed_after[digest] = now - submitted[digest]
+                            continue
+                        executed[digest] = value
+                        payloads[digest] = payload
+                        seconds = float(payload["wall"])
+                        if slowest is None or seconds > slowest[1]:
+                            slowest = (point.label or point.kind, seconds)
+                        self._record_done(point, digest, value, seconds,
+                                          start)
+                    show_progress()
+        finally:
+            if spool_dir is not None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
         if failures:
             digest = min(failures, key=order.__getitem__)
             point = points[order[digest]]
             raise RunnerError(
                 f"{len(failures)} sweep point(s) failed; first by sweep "
-                f"order: {point.label or point.kind}"
+                f"order: {point.label or point.kind} (kind={point.kind}, "
+                f"failed after {failed_after[digest]:.1f}s, "
+                f"{attempts[digest]} attempt(s))"
             ) from failures[digest]
         return executed
 
     @staticmethod
-    def _describe(points, pending, futures) -> str:
-        digest = next(iter(futures.values()))
-        point = points[pending[digest][0]]
-        return point.label or point.kind
+    def _abort_pool(pool) -> None:
+        """Tear a pool down around a hung point.  ``cancel()`` cannot
+        stop a *running* task, and the pool's ``__exit__`` would join
+        it — a hung simulation would block the timeout error itself —
+        so the stuck workers are terminated outright."""
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            process.terminate()
+
+    @staticmethod
+    def _describe(points, pending, futures, submitted) -> str:
+        """Outstanding points at timeout, earliest sweep position
+        first: ``label (kind, 12.3s since submit)``, up to three."""
+        now = time.perf_counter()
+        outstanding = sorted(futures.values(),
+                             key=lambda digest: pending[digest][0])
+        parts = []
+        for digest in outstanding[:3]:
+            point = points[pending[digest][0]]
+            elapsed = now - submitted.get(digest, now)
+            parts.append(f"{point.label or point.kind} "
+                         f"({point.kind}, {elapsed:.1f}s since submit)")
+        if len(outstanding) > 3:
+            parts.append("...")
+        return ", ".join(parts)
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,7 @@ imports ``repro.runner``, not the other way around at module scope).
 from __future__ import annotations
 
 from ..errors import ReproError
+from ..obs.spans import span
 from .point import SweepPoint
 
 #: kind -> callable(point) -> result.
@@ -32,14 +33,22 @@ def executor(kind: str):
 
 
 def execute_point(point: SweepPoint) -> object:
-    """Run one point to completion and return its (picklable) result."""
+    """Run one point to completion and return its (picklable) result.
+
+    When a :class:`repro.obs.spans.SpanRecorder` is active (sweep
+    telemetry), the whole execution runs under a root ``point`` span so
+    the per-point phase breakdown — program build, codegen compile,
+    functional front end, timing loop, fault recovery, analysis — hangs
+    off one well-known root.  Disabled, the span is a shared no-op.
+    """
     fn = EXECUTORS.get(point.kind)
     if fn is None:
         known = ", ".join(sorted(EXECUTORS))
         raise ReproError(
             f"unknown sweep-point kind {point.kind!r}; known: {known}"
         )
-    return fn(point)
+    with span("point"):
+        return fn(point)
 
 
 def _program(point: SweepPoint):

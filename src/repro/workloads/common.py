@@ -10,6 +10,7 @@ kernel computes something deterministic.
 from __future__ import annotations
 
 from ..isa.builder import ProgramBuilder
+from ..obs.spans import span
 
 #: (name, scale) -> assembled Program.  Kernels are pure functions of
 #: their scale and Programs are immutable after assembly (branch targets
@@ -30,7 +31,10 @@ def shared_program(name: str, scale: int, builder):
     key = (name, scale)
     program = _PROGRAM_CACHE.get(key)
     if program is None:
-        program = builder()
+        # Only actual builds are charged to the program-build phase;
+        # memoized lookups cost (and record) nothing.
+        with span("program-build"):
+            program = builder()
         _PROGRAM_CACHE[key] = program
     return program
 
