@@ -55,6 +55,31 @@ class PointTimeoutError(RunnerError):
     ``timeout`` window, so outstanding work was cancelled."""
 
 
+class PointQuarantinedError(RunnerError):
+    """A sweep point repeatedly killed its worker process.
+
+    Worker loss (an ``os._exit``, an OOM kill, a segfault in an
+    extension) is recovered by rebuilding the pool and resubmitting the
+    points that were in flight; a point that keeps taking workers down
+    with it exhausts its ``worker_death_budget`` and is quarantined —
+    the rest of the sweep drains normally and the quarantined point
+    surfaces as this typed error (chained under :class:`RunnerError`
+    like any other point failure)."""
+
+
+class SweepInterruptedError(RunnerError):
+    """A sweep was cancelled cooperatively (SIGINT/SIGTERM).
+
+    Raised from :meth:`repro.runner.SweepRunner.run` after completed
+    points have been journaled and cached, so a later run over the same
+    journal and cache (``--resume``) re-executes only the remainder."""
+
+
+class JournalError(RunnerError):
+    """A sweep journal could not be opened, parsed, or replayed
+    (unknown schema, not a journal file, unwritable path)."""
+
+
 class FaultError(SimulationError):
     """An injected transport fault could not be recovered.
 

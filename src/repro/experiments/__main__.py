@@ -11,17 +11,27 @@ Simulations fan out over ``--jobs`` worker processes and completed
 points land in a content-addressed on-disk cache, so a warm re-run of
 ``all`` skips simulation entirely (see docs/runner.md).  ``--jobs 1
 --no-cache`` is exactly the classic serial path.
+
+Long sweeps are crash-safe: ``--journal PATH`` writes a durable
+write-ahead log of sweep progress, SIGINT/SIGTERM stop the sweep
+gracefully (journal flushed, partial ``status: interrupted`` manifest
+written, exit 130; a second signal hard-kills), and ``--resume PATH``
+picks the sweep back up, re-executing only what never finished.  See
+docs/runner.md, "Crash safety, resume, and chaos testing".
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 import traceback
 
 from ..analysis.export import write_csv
-from ..runner import (ResultCache, SweepRunner, default_cache_dir,
-                      set_default_runner)
+from ..errors import SweepInterruptedError
+from ..runner import (ResultCache, SweepJournal, SweepRunner,
+                      default_cache_dir, set_default_runner)
 from .figure1 import format_figure1, run_figure1
 from .figure3 import format_figure3, run_figure3
 from .figure7 import format_figure7, run_figure7
@@ -133,6 +143,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="live sweep progress line on stderr "
                              "(default: auto — on only when stderr is "
                              "a TTY)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-execute a failed sweep point up to N "
+                             "times before the sweep reports it "
+                             "(default: 0 — fail on first error)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail the sweep if no point completes for "
+                             "SECONDS (parallel sweeps: guards against "
+                             "hung simulations; default: wait forever)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="write a durable sweep journal (fsync'd "
+                             "JSONL write-ahead log) at PATH; an "
+                             "existing journal there is rotated aside "
+                             "first — use --resume to continue one")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume an interrupted sweep from its "
+                             "journal at PATH: points the journal marks "
+                             "done are replayed from the result cache, "
+                             "only the remainder re-executes (requires "
+                             "the cache; incompatible with --no-cache "
+                             "and --journal)")
     return parser
 
 
@@ -157,20 +188,75 @@ def run_one(name: str, limit, csv_path=None, fault_seed: int = 11,
 
 
 def _build_runner(args) -> SweepRunner:
+    if args.resume and args.journal:
+        raise SystemExit("--resume already appends to the journal at its "
+                         "PATH; drop --journal")
+    if args.resume and args.no_cache:
+        raise SystemExit("--resume replays finished points from the result "
+                         "cache; drop --no-cache")
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    journal = None
+    if args.resume:
+        journal = SweepJournal.resume(args.resume)
+        state = journal.state
+        print(f"[journal] resuming {args.resume}: {len(state.done)} done, "
+              f"{len(state.outstanding())} in flight at interruption, "
+              f"{len(state.failed)} failed, "
+              f"{len(state.quarantined)} quarantined",
+              file=sys.stderr)
+    elif args.journal:
+        journal = SweepJournal.create(args.journal)
+        if journal.rotated:
+            print(f"[journal] rotated existing {args.journal} aside",
+                  file=sys.stderr)
     telemetry = bool(args.report_out or args.sweep_trace_out)
     return SweepRunner(jobs=args.jobs, cache=cache,
-                       progress=args.progress, telemetry=telemetry)
+                       progress=args.progress, telemetry=telemetry,
+                       timeout=args.point_timeout, retries=args.retries,
+                       journal=journal)
 
 
-def _write_reports(args, sweep_runner) -> None:
+def _install_signal_handlers(runner) -> "dict[int, object]":
+    """First SIGINT/SIGTERM cancels the sweep gracefully (journal and
+    cache keep everything already finished); a second one hard-kills.
+    Returns the handlers that were replaced, for restoration."""
+    state = {"signals": 0}
+
+    def handler(signum, frame):
+        state["signals"] += 1
+        if state["signals"] >= 2:
+            os._exit(128 + signum)
+        runner.request_cancel()
+        print(f"\n[sweep] {signal.Signals(signum).name} received — "
+              f"stopping at the next scheduler round; completed points "
+              f"are journaled (signal again to hard-kill)",
+              file=sys.stderr)
+
+    previous: "dict[int, object]" = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except ValueError:
+            pass  # not the main thread (embedded callers): no handlers
+    return previous
+
+
+def _restore_signal_handlers(previous: "dict[int, object]") -> None:
+    for signum, old in previous.items():
+        try:
+            signal.signal(signum, old)
+        except ValueError:
+            pass
+
+
+def _write_reports(args, sweep_runner, status: str = "complete") -> None:
     """``--report-out`` / ``--sweep-trace-out`` output, after the sweep."""
     if args.report_out:
         from ..runner.manifest import RunManifest
 
-        manifest = RunManifest.from_runner(sweep_runner)
+        manifest = RunManifest.from_runner(sweep_runner, status=status)
         manifest.write(args.report_out)
         print(f"{manifest.summary()} -> {args.report_out}",
               file=sys.stderr)
@@ -202,7 +288,9 @@ def main(argv=None) -> int:
         profiler.enable()
     sweep_runner = _build_runner(args)
     previous = set_default_runner(sweep_runner)
+    saved_signals = _install_signal_handlers(sweep_runner)
     failures: "list[tuple[str, BaseException]]" = []
+    interrupted = False
     try:
         for name in names:
             try:
@@ -214,6 +302,12 @@ def main(argv=None) -> int:
                               metrics_out=args.metrics_out,
                               engine=args.engine))
                 print()
+            except SweepInterruptedError as exc:
+                # Graceful cancellation: everything completed so far is
+                # journaled and cached; report, then exit 130 below.
+                interrupted = True
+                print(f"[interrupted] {name}: {exc}", file=sys.stderr)
+                break
             except Exception as exc:
                 # Under `all`, one broken experiment must not take the
                 # rest of the batch down with it.
@@ -224,7 +318,10 @@ def main(argv=None) -> int:
                 print(f"[failed] {name}: {exc}", file=sys.stderr)
                 print()
     finally:
+        _restore_signal_handlers(saved_signals)
         set_default_runner(previous)
+        if sweep_runner.journal is not None:
+            sweep_runner.journal.close()
         if profiler is not None:
             profiler.disable()
             profiler.dump_stats(args.profile)
@@ -232,7 +329,15 @@ def main(argv=None) -> int:
                   f"(inspect with: python -m pstats {args.profile})",
                   file=sys.stderr)
     print(sweep_runner.summary())
-    _write_reports(args, sweep_runner)
+    _write_reports(args, sweep_runner,
+                   status="interrupted" if interrupted else "complete")
+    if interrupted:
+        journal_path = args.resume or args.journal
+        if journal_path:
+            print(f"[sweep] resume with: python -m repro.experiments "
+                  f"{args.experiment} --resume {journal_path}",
+                  file=sys.stderr)
+        return 130
     if failures:
         failed = ", ".join(name for name, _ in failures)
         print(f"[failed] {len(failures)} of {len(names)} experiments: "

@@ -1,0 +1,216 @@
+"""Seeded process-level fault injection for the sweep runner.
+
+:class:`ChaosPlan` is to the *sweep-runner process layer* what
+:class:`~repro.faults.plan.FaultPlan` is to the broadcast medium: a
+deterministic, seeded schedule of faults, with the same recovery
+invariant one layer up — chaos on plus a sufficient recovery budget
+produces results **bit-identical** to a chaos-free sweep; chaos beyond
+the budget produces a typed error, never a hang or a silent partial
+sweep (regression-tested in ``tests/test_chaos.py``).
+
+Where :class:`FaultPlan` draws per broadcast in broadcast order,
+:class:`ChaosPlan` must stay deterministic across *processes and
+schedules*: worker assignment, completion order, and pool rebuilds all
+vary run to run.  Decisions are therefore keyed on
+``(seed, point digest, attempt)`` — each injection site derives a
+private :class:`random.Random` from exactly that triple, so the same
+sweep under the same seed always suffers the same faults no matter
+which worker executes which point when.
+
+The fault budget makes the invariant crisp instead of probabilistic:
+attempts ``0 .. faults_budget-1`` of a point may fault; attempt
+``faults_budget`` and later never do.  A worker-exit fault is
+recovered by the engine's pool-rebuild path (so it needs
+``worker_death_budget > faults_budget``); a transient ``OSError``
+fault is recovered by the retry path (``retries >= faults_budget``).
+
+Injection sites:
+
+* **worker exit** — ``os._exit(exit_code)`` mid-point inside the
+  worker (:func:`repro.runner.telemetry.execute_point_task`), the
+  closest stand-in for an OOM kill or a segfault;
+* **delay** — a bounded ``time.sleep`` before the point executes,
+  stressing timeout/progress bookkeeping without changing results;
+* **transient OSError** — raised from the worker task before the
+  point runs (a spool/serialization I/O failure); surfaces as an
+  ordinary point failure and is recovered by ``retries``;
+* **cache-store faults** — :meth:`ChaosPlan.fs_injector` returns a
+  callable for :class:`repro.runner.cache.ResultCache`\\ 's
+  ``fault_injector`` hook that raises ``ENOSPC``/``EIO`` inside
+  ``store()``, driving the cache's degrade-to-store-off hardening.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = ["ChaosConfig", "ChaosPlan", "PointChaos"]
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        from ..errors import ConfigError
+
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Process-level fault rates for one sweep (all per attempt)."""
+
+    #: RNG seed; the whole fault schedule is a pure function of
+    #: ``(seed, digest, attempt)``.
+    seed: int = 0
+    #: Probability the worker ``os._exit``\\ s mid-point.
+    exit_prob: float = 0.0
+    #: Probability the point is delayed before executing.
+    delay_prob: float = 0.0
+    #: Maximum injected delay in seconds (uniform in ``0..max_delay``).
+    max_delay: float = 0.05
+    #: Probability the worker task raises a transient ``OSError``
+    #: before the point runs.
+    io_error_prob: float = 0.0
+    #: Probability one cache ``store()`` fails with ``ENOSPC`` (the
+    #: simulated disk-full; drawn once per digest, see
+    #: :meth:`ChaosPlan.cache_fault`).
+    cache_error_prob: float = 0.0
+    #: Attempts ``0..faults_budget-1`` may fault; later attempts are
+    #: chaos-free, so recovery budgets >= this bound guarantee the
+    #: sweep completes bit-identically.
+    faults_budget: int = 2
+    #: Exit status for injected worker deaths (distinctive in logs).
+    exit_code: int = 113
+
+    def __post_init__(self) -> None:
+        for name in ("exit_prob", "delay_prob", "io_error_prob",
+                     "cache_error_prob"):
+            value = getattr(self, name)
+            _require(0.0 <= value <= 1.0, f"{name} must be in [0, 1]")
+        _require(self.max_delay >= 0.0, "max_delay must be >= 0")
+        _require(self.faults_budget >= 0, "faults_budget must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return (self.exit_prob > 0 or self.delay_prob > 0
+                or self.io_error_prob > 0 or self.cache_error_prob > 0)
+
+
+@dataclass(frozen=True)
+class PointChaos:
+    """The plan's decisions for one ``(digest, attempt)``."""
+
+    #: Kill the worker process mid-point.
+    exit_mid_point: bool = False
+    #: Sleep this long before executing (0 for none).
+    delay_seconds: float = 0.0
+    #: Raise a transient ``OSError`` from the worker task.
+    io_error: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.exit_mid_point or self.io_error \
+            or self.delay_seconds > 0
+
+
+#: The shared no-fault decision (attempts past the budget).
+NO_CHAOS = PointChaos()
+
+
+class ChaosPlan:
+    """Deterministic per-(digest, attempt) chaos decisions.
+
+    Stateless and cheap to construct, so workers rebuild it from the
+    pickled :class:`ChaosConfig` per task — no cross-process RNG state
+    to share, by design.
+    """
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+
+    def _rng(self, digest: str, site: object) -> random.Random:
+        return random.Random(f"{self.config.seed}:{digest}:{site}")
+
+    def for_attempt(self, digest: str, attempt: int) -> PointChaos:
+        """Decisions for try number ``attempt`` (0-based, counting
+        every submission of the digest: retries *and* pool-rebuild
+        resubmissions).  The draw order per attempt is fixed — delay,
+        delay amount, I/O error, exit — so adding a probability knob
+        never perturbs the draws before it.
+        """
+        config = self.config
+        if attempt >= config.faults_budget or not config.enabled:
+            return NO_CHAOS
+        rng = self._rng(digest, attempt)
+        delay = 0.0
+        if config.delay_prob > 0 and rng.random() < config.delay_prob:
+            delay = rng.random() * config.max_delay
+        io_error = (config.io_error_prob > 0
+                    and rng.random() < config.io_error_prob)
+        exit_mid_point = (config.exit_prob > 0
+                          and rng.random() < config.exit_prob)
+        # One fault per attempt: a killed worker cannot also report an
+        # I/O error.  Exit takes precedence (it is the harsher fault).
+        if exit_mid_point:
+            io_error = False
+        return PointChaos(exit_mid_point=exit_mid_point,
+                          delay_seconds=delay, io_error=io_error)
+
+    def cache_fault(self, digest: str, store_number: int = 0) -> bool:
+        """Should cache ``store()`` number ``store_number`` of this
+        digest fail with a simulated disk-full?"""
+        config = self.config
+        if store_number >= config.faults_budget:
+            return False
+        if config.cache_error_prob <= 0:
+            return False
+        rng = self._rng(digest, f"cache:{store_number}")
+        return rng.random() < config.cache_error_prob
+
+    def fs_injector(self):
+        """A ``fault_injector`` for :class:`repro.runner.cache.
+        ResultCache`: raises ``ENOSPC`` on stores the plan marks
+        faulty.  Tracks per-digest store counts (parent-side only, so
+        determinism needs no cross-process state)."""
+        counts: "dict[str, int]" = {}
+
+        def inject(op: str, digest: str) -> None:
+            if op != "store":
+                return
+            number = counts.get(digest, 0)
+            counts[digest] = number + 1
+            if self.cache_fault(digest, number):
+                raise OSError(errno.ENOSPC,
+                              "chaos: simulated disk full on cache store")
+
+        return inject
+
+    # ------------------------------------------------------------------
+    # Worker-side application.
+    # ------------------------------------------------------------------
+    def apply_worker_faults(self, digest: str, attempt: int,
+                            notify=None) -> None:
+        """Inject this attempt's worker-side faults, in order: delay,
+        transient I/O error, worker exit.  ``notify(kind, decision)``
+        (when given) observes each injection before it lands — the
+        telemetry spool uses it so injected faults are visible in the
+        live progress stream."""
+        decision = self.for_attempt(digest, attempt)
+        if not decision.any:
+            return
+        if decision.delay_seconds > 0:
+            if notify is not None:
+                notify("delay", decision)
+            time.sleep(decision.delay_seconds)
+        if decision.io_error:
+            if notify is not None:
+                notify("io-error", decision)
+            raise OSError(errno.EIO,
+                          "chaos: injected transient I/O failure")
+        if decision.exit_mid_point:
+            if notify is not None:
+                notify("exit", decision)
+            os._exit(self.config.exit_code)

@@ -15,6 +15,16 @@ serve a wrong result.
 Writes are atomic (temp file + ``os.replace``), so concurrent sweep
 workers and concurrent sweeps sharing one cache directory never
 observe half-written entries.
+
+Stores are best-effort: an ``OSError`` (disk full, permission,
+read-only filesystem) disables further stores for the rest of this
+cache's lifetime — one warning line on stderr, a ``store_errors``
+count the engine surfaces as ``runner.cache.store_errors`` — instead
+of failing the sweep point whose *simulation already succeeded*.
+Loads keep working; a degraded cache can only miss, never lie.  The
+``fault_injector`` hook lets the chaos harness
+(:class:`repro.faults.chaos.ChaosPlan`) drive that degrade path with
+injected ``ENOSPC`` faults.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from __future__ import annotations
 import os
 import pathlib
 import pickle
+import sys
 
 from .digest import code_version as current_code_version
 from .digest import point_digest
@@ -40,7 +51,8 @@ class ResultCache:
     """Digest-keyed store of completed sweep-point results."""
 
     def __init__(self, root: "str | os.PathLike",
-                 code_version: "str | None" = None):
+                 code_version: "str | None" = None,
+                 fault_injector=None):
         self.root = pathlib.Path(root)
         #: Stamp mixed into every digest; a different stamp (new code)
         #: addresses a disjoint keyspace, so stale entries can never be
@@ -51,6 +63,14 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        #: ``OSError``-failed stores; the first one disables the rest.
+        self.store_errors = 0
+        self.store_disabled = False
+        #: Chaos hook: ``callable(op, digest)`` invoked inside
+        #: :meth:`store`'s hardened region; raising ``OSError`` from it
+        #: exercises the real degrade path (see
+        #: :meth:`repro.faults.chaos.ChaosPlan.fs_injector`).
+        self.fault_injector = fault_injector
 
     def digest_for(self, point: SweepPoint) -> str:
         return point_digest(point, self.code_version)
@@ -89,27 +109,50 @@ class ResultCache:
         return True, result
 
     def store(self, point: SweepPoint, result: object,
-              digest: "str | None" = None) -> None:
-        """Persist one completed point atomically."""
+              digest: "str | None" = None) -> bool:
+        """Persist one completed point atomically; ``True`` on success.
+
+        An ``OSError`` anywhere in the write path (disk full, quota,
+        permissions) degrades the cache to store-off for the rest of
+        this run instead of crashing a point whose simulation already
+        succeeded: ``store_errors`` counts the failure, one warning
+        line lands on stderr, and every later :meth:`store` is a cheap
+        no-op returning ``False``.  Loads are unaffected.
+        """
         digest = digest or self.digest_for(point)
+        if self.store_disabled:
+            return False
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "digest": digest,
-            "kind": point.kind,
-            "workload": point.workload,
-            "label": point.label,
-            "result": result,
-        }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
+            if self.fault_injector is not None:
+                self.fault_injector("store", digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            entry = {
+                "digest": digest,
+                "kind": point.kind,
+                "workload": point.workload,
+                "label": point.label,
+                "result": result,
+            }
             with open(tmp, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError as exc:
+            self._note_store_error(exc)
+            return False
         finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
         self.stores += 1
+        return True
+
+    def _note_store_error(self, exc: OSError) -> None:
+        self.store_errors += 1
+        if not self.store_disabled:
+            self.store_disabled = True
+            print(f"[cache] store failed ({exc}); result caching "
+                  f"disabled for the rest of this run — completed "
+                  f"points still return normally", file=sys.stderr)

@@ -1,0 +1,255 @@
+"""The sweep write-ahead journal: a durable record of sweep progress.
+
+A :class:`SweepJournal` is an append-only JSONL log, one line per
+state transition, fsync'd on every append — the record survives an
+``os._exit``, an OOM kill, or a power cut mid-sweep.  Records are
+schema-versioned (``repro-sweep-journal/1``) and keyed by **point
+digest** (:func:`repro.runner.digest.point_digest`), the same key the
+on-disk :class:`~repro.runner.cache.ResultCache` uses, which is what
+makes resume cheap: a digest the journal marks ``done`` was stored to
+the cache *before* the ``done`` record was written, so replaying the
+journal against the cache re-executes nothing that already finished.
+
+Record vocabulary (unknown events are skipped on replay, so the format
+is forward-extensible):
+
+* ``journal-open`` — first line of every journal file: schema stamp,
+  code-version stamp, creation time;
+* ``run-start`` — one per :meth:`SweepRunner.run`: point count, jobs;
+* ``submit`` — a digest entered execution (first submission only);
+* ``done`` — a digest completed; ``cached`` records whether the result
+  reached the result cache (a store that degraded on ``OSError`` is
+  journaled ``cached: false`` so resume knows to re-execute);
+* ``failed`` — a digest exhausted its retry budget;
+* ``quarantined`` — a digest exhausted its worker-death budget;
+* ``interrupted`` — the sweep was cancelled with work outstanding.
+
+Lifecycle: :meth:`SweepJournal.create` starts a fresh journal and
+**rotates** any existing file aside atomically (``os.replace`` to the
+first free ``<path>.N``) — an old journal is never silently
+overwritten.  :meth:`SweepJournal.resume` re-opens an existing journal
+for appending and exposes its replayed :class:`JournalState`.  Replay
+tolerates a torn final line (the crash may have happened mid-append);
+anything before it is trusted because every complete line was fsync'd.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..errors import JournalError
+from .digest import code_version as current_code_version
+
+__all__ = ["JOURNAL_SCHEMA", "JournalState", "SweepJournal"]
+
+#: Schema stamp written in every journal's ``journal-open`` record.
+JOURNAL_SCHEMA = "repro-sweep-journal/1"
+
+
+class JournalState:
+    """What a replayed journal says about each digest."""
+
+    def __init__(self) -> None:
+        #: digest -> its ``done`` record (``cached`` flag included).
+        self.done: "dict[str, dict]" = {}
+        #: digest -> its terminal ``failed`` record.
+        self.failed: "dict[str, dict]" = {}
+        #: digest -> its ``quarantined`` record.
+        self.quarantined: "dict[str, dict]" = {}
+        #: digests that were submitted but never reached a terminal
+        #: record — the in-flight work an interruption abandoned.
+        self.submitted: "set[str]" = set()
+        #: ``interrupted`` records observed, oldest first.
+        self.interruptions: "list[dict]" = []
+        #: Total records replayed (complete lines only).
+        self.records = 0
+        #: The journal's recorded code-version stamp (empty if the
+        #: header predates it or was torn away).
+        self.code_version = ""
+
+    def completed(self, digest: str) -> bool:
+        """``True`` when ``digest`` finished *and* its result was
+        stored to the result cache — the replay-from-cache fast path."""
+        record = self.done.get(digest)
+        return bool(record) and bool(record.get("cached", True))
+
+    def outstanding(self) -> "set[str]":
+        """Digests that started but never finished."""
+        return self.submitted - set(self.done) - set(self.failed) \
+            - set(self.quarantined)
+
+    def apply(self, record: dict) -> None:
+        event = record.get("event")
+        self.records += 1
+        if event == "journal-open":
+            self.code_version = str(record.get("code", ""))
+        elif event == "submit":
+            digest = record.get("digest")
+            if digest:
+                self.submitted.add(digest)
+        elif event == "done":
+            digest = record.get("digest")
+            if digest:
+                self.done[digest] = record
+                # A resubmitted digest that eventually succeeded is no
+                # longer failed/quarantined.
+                self.failed.pop(digest, None)
+                self.quarantined.pop(digest, None)
+        elif event == "failed":
+            digest = record.get("digest")
+            if digest:
+                self.failed[digest] = record
+        elif event == "quarantined":
+            digest = record.get("digest")
+            if digest:
+                self.quarantined[digest] = record
+        elif event == "interrupted":
+            self.interruptions.append(record)
+        # Unknown events: skipped (forward compatibility).
+
+
+class SweepJournal:
+    """Append-only, fsync'd JSONL write-ahead log for one sweep path.
+
+    Construct through :meth:`create` (fresh file, rotates any existing
+    journal aside) or :meth:`resume` (re-open and replay).  Appends are
+    durable before they return: the line is written, flushed, and
+    ``os.fsync``'d (``fsync=False`` trades durability for speed in
+    tests).
+    """
+
+    def __init__(self, path: "str | os.PathLike", state: JournalState,
+                 fsync: bool = True, _fresh: bool = False):
+        self.path = os.fspath(path)
+        self.state = state
+        self.fsync = fsync
+        #: Records appended through *this* handle (not replayed ones).
+        self.appended = 0
+        #: How many prior journal files :meth:`create` rotated aside.
+        self.rotated = 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if _fresh:
+            self.append("journal-open", schema=JOURNAL_SCHEMA,
+                        code=current_code_version())
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: "str | os.PathLike",
+               fsync: bool = True) -> "SweepJournal":
+        """Start a fresh journal at ``path``.
+
+        An existing non-empty file is first rotated aside atomically to
+        the lowest free ``<path>.N`` — old progress records are never
+        destroyed by starting a new sweep at the same path.
+        """
+        path = os.fspath(path)
+        rotated = 0
+        try:
+            if os.path.getsize(path) > 0:
+                n = 1
+                while os.path.exists(f"{path}.{n}"):
+                    n += 1
+                os.replace(path, f"{path}.{n}")
+                rotated = 1
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise JournalError(
+                f"cannot rotate existing journal {path!r}: {exc}") from exc
+        journal = cls(path, JournalState(), fsync=fsync, _fresh=True)
+        journal.rotated = rotated
+        return journal
+
+    @classmethod
+    def resume(cls, path: "str | os.PathLike",
+               fsync: bool = True) -> "SweepJournal":
+        """Re-open an existing journal for appending, with its replayed
+        :class:`JournalState` attached (``journal.state``)."""
+        state = cls.replay(path)
+        return cls(path, state, fsync=fsync)
+
+    # ------------------------------------------------------------------
+    # Appending.
+    # ------------------------------------------------------------------
+    def append(self, event: str, **fields: object) -> dict:
+        """Durably append one record; returns the record written."""
+        record: "dict[str, object]" = {"event": event, "t": time.time()}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except (OSError, ValueError) as exc:
+            raise JournalError(
+                f"cannot append to journal {self.path!r}: {exc}") from exc
+        self.appended += 1
+        self.state.apply(record)
+        return record
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: "str | os.PathLike") -> JournalState:
+        """Rebuild the :class:`JournalState` a journal file records.
+
+        The final line may be torn (the process died mid-append); it is
+        ignored, as is any line that does not decode — every *complete*
+        line was fsync'd before the engine acted on it, so the prefix is
+        trustworthy.  A file whose first decodable record is not a
+        ``repro-sweep-journal`` header raises :class:`JournalError`
+        rather than silently replaying garbage.
+        """
+        path = os.fspath(path)
+        state = JournalState()
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {path!r}: {exc}") from exc
+        end = data.rfind(b"\n")
+        if end < 0:
+            if data.strip():
+                raise JournalError(
+                    f"not a sweep journal: {path!r} has no complete "
+                    f"records")
+            return state
+        first = True
+        for line in data[:end].splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                continue  # torn or foreign line: skip
+            if not isinstance(record, dict):
+                continue
+            if first:
+                first = False
+                schema = record.get("schema", "")
+                if record.get("event") != "journal-open" \
+                        or not str(schema).startswith("repro-sweep-journal/"):
+                    raise JournalError(
+                        f"not a sweep journal: {path!r} (first record: "
+                        f"{record.get('event')!r}, schema {schema!r})")
+            state.apply(record)
+        return state

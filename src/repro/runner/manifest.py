@@ -56,7 +56,8 @@ class RunManifest:
                  jobs: int = 1, wall_seconds: float = 0.0,
                  environment: "dict | None" = None,
                  code: "str | None" = None,
-                 created: "float | None" = None):
+                 created: "float | None" = None,
+                 status: str = "complete"):
         self.schema = MANIFEST_SCHEMA
         self.created = time.time() if created is None else created
         self.environment = (environment_info() if environment is None
@@ -64,6 +65,11 @@ class RunManifest:
         self.code_version = code_version() if code is None else code
         self.jobs = jobs
         self.wall_seconds = wall_seconds
+        #: ``"complete"`` for a sweep that ran to the end,
+        #: ``"interrupted"`` for a partial manifest written after a
+        #: graceful cancellation (the rows present are still final —
+        #: every one was cached and journaled before the stop).
+        self.status = status
         #: One row per sweep position, in sweep order.
         self.points = points
         self.metrics = metrics if metrics is not None else {}
@@ -72,12 +78,17 @@ class RunManifest:
     # Construction.
     # ------------------------------------------------------------------
     @classmethod
-    def from_runner(cls, runner) -> "RunManifest":
-        """Snapshot everything ``runner`` has executed so far."""
+    def from_runner(cls, runner, status: str = "complete") -> "RunManifest":
+        """Snapshot everything ``runner`` has executed so far.
+
+        ``status="interrupted"`` marks the partial manifest a cancelled
+        sweep writes on its way out — the rows are whatever completed
+        (all of it durable in cache and journal) before the stop.
+        """
         rows = [cls._point_row(point) for point in runner.point_telemetry]
         wall = float(runner.registry.gauge("runner.wall_seconds").value)
         return cls(points=rows, metrics=runner.registry.as_dict(),
-                   jobs=runner.jobs, wall_seconds=wall)
+                   jobs=runner.jobs, wall_seconds=wall, status=status)
 
     @staticmethod
     def _point_row(point: PointTelemetry) -> "dict[str, object]":
@@ -111,6 +122,7 @@ class RunManifest:
             "environment": self.environment,
             "code_version": self.code_version,
             "jobs": self.jobs,
+            "status": self.status,
             "wall_seconds": self.wall_seconds,
             "points": self.points,
             "metrics": self.metrics,
@@ -133,6 +145,7 @@ class RunManifest:
             environment=dict(data.get("environment", {})),
             code=str(data.get("code_version", "")),
             created=float(data.get("created", 0.0)),
+            status=str(data.get("status", "complete")),
         )
         return manifest
 
@@ -165,7 +178,10 @@ class RunManifest:
 
     def summary(self) -> str:
         executed = len(self.executed_points())
-        return (f"[manifest] points={len(self.points)} executed={executed} "
+        line = (f"[manifest] points={len(self.points)} executed={executed} "
                 f"cache_hit_rate={self.cache_hit_rate():.0%} "
                 f"wall={self.wall_seconds:.1f}s jobs={self.jobs} "
                 f"code={self.code_version[:12]}")
+        if self.status != "complete":
+            line += f" status={self.status}"
+        return line

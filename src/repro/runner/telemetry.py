@@ -34,7 +34,8 @@ from .executors import execute_point
 from .point import SweepPoint
 
 __all__ = ["PointTelemetry", "ProgressLine", "TelemetryReader",
-           "TelemetryWriter", "execute_point_task", "worker_tracks"]
+           "TelemetryWriter", "close_writers", "execute_point_task",
+           "worker_tracks"]
 
 
 class PointTelemetry:
@@ -94,9 +95,26 @@ class TelemetryWriter:
 
     def write(self, record: dict) -> None:
         """Append one record and flush, so the parent's next poll (a
-        plain read past its saved offset) can observe it."""
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        plain read past its saved offset) can observe it.
+
+        The spool is display-only, so a write failure (the parent
+        already tore the spool down, disk full) degrades this writer
+        to a no-op instead of failing the point."""
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            self.close()
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
 
 
 def _writer_for(spool_dir: "str | None") -> "TelemetryWriter | None":
@@ -112,8 +130,16 @@ def _writer_for(spool_dir: "str | None") -> "TelemetryWriter | None":
     return writer
 
 
+def close_writers() -> None:
+    """Close every cached spool writer (worker teardown, tests)."""
+    while _WRITERS:
+        _, writer = _WRITERS.popitem()
+        writer.close()
+
+
 def execute_point_task(point: SweepPoint, spool_dir: "str | None" = None,
-                       collect_spans: bool = False):
+                       collect_spans: bool = False,
+                       chaos=None, digest: str = "", attempt: int = 0):
     """The engine's worker task: run one point, measure it, spool
     progress records, and return ``(result, payload)``.
 
@@ -122,12 +148,32 @@ def execute_point_task(point: SweepPoint, spool_dir: "str | None" = None,
     in-band through the future so the authoritative record never
     depends on spool polling.  Exceptions propagate unchanged after an
     ``error`` record is spooled.
+
+    ``chaos`` (a :class:`repro.faults.chaos.ChaosConfig`) arms
+    process-level fault injection for this attempt: the worker may be
+    delayed, raise a transient ``OSError``, or ``os._exit`` mid-point,
+    all decided deterministically from ``(chaos.seed, digest,
+    attempt)`` so the schedule never depends on which worker runs what
+    when.  Injections are spooled as ``chaos`` records before they
+    land (best-effort, like all spool traffic).
     """
     label = point.label or point.kind
     writer = _writer_for(spool_dir)
     if writer is not None:
         writer.write({"event": "start", "label": label,
-                      "pid": os.getpid(), "t": time.time()})
+                      "pid": os.getpid(), "t": time.time(),
+                      "attempt": attempt})
+    if chaos is not None:
+        from ..faults.chaos import ChaosPlan
+
+        def spool_chaos(kind: str, decision) -> None:
+            if writer is not None:
+                writer.write({"event": "chaos", "kind": kind,
+                              "label": label, "pid": os.getpid(),
+                              "t": time.time(), "attempt": attempt})
+
+        ChaosPlan(chaos).apply_worker_faults(digest, attempt,
+                                             notify=spool_chaos)
     recorder = SpanRecorder() if collect_spans else None
     t0 = time.perf_counter()
     c0 = time.process_time()
@@ -167,11 +213,29 @@ class TelemetryReader:
     consumed — a record mid-write is picked up by the next poll — and
     undecodable lines are skipped, so a torn read can never take the
     parent down.
+
+    One handle per spool file is held open across polls (cheaper than
+    reopening at the poll cadence, and immune to a writer recreating
+    the path); :meth:`close` releases them all — the engine calls it on
+    every exit path, including timeout aborts and cancellation, so a
+    dead sweep never leaks descriptors onto ``worker-*.jsonl`` files
+    the spool cleanup is about to delete.
     """
 
     def __init__(self, spool_dir: str):
         self.spool_dir = spool_dir
         self._offsets: "dict[str, int]" = {}
+        self._handles: "dict[str, object]" = {}
+
+    def _handle_for(self, path: str):
+        handle = self._handles.get(path)
+        if handle is None:
+            try:
+                handle = open(path, "rb")
+            except OSError:
+                return None
+            self._handles[path] = handle
+        return handle
 
     def poll(self) -> "list[dict]":
         records: "list[dict]" = []
@@ -183,12 +247,15 @@ class TelemetryReader:
             return records
         for name in names:
             path = os.path.join(self.spool_dir, name)
+            handle = self._handle_for(path)
+            if handle is None:
+                continue
             offset = self._offsets.get(path, 0)
             try:
-                with open(path, "rb") as handle:
-                    handle.seek(offset)
-                    data = handle.read()
-            except OSError:
+                handle.seek(offset)
+                data = handle.read()
+            except (OSError, ValueError):
+                self._drop_handle(path)
                 continue
             end = data.rfind(b"\n")
             if end < 0:
@@ -200,6 +267,25 @@ class TelemetryReader:
                 except (UnicodeDecodeError, ValueError):
                     continue
         return records
+
+    def _drop_handle(self, path: str) -> None:
+        handle = self._handles.pop(path, None)
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close every per-file handle (idempotent)."""
+        for path in list(self._handles):
+            self._drop_handle(path)
+
+    def __enter__(self) -> "TelemetryReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,159 @@
+"""Process-level chaos: seeded fault plans and the recovery invariant.
+
+The invariant tests double as the CI ``chaos-matrix`` job: ``CHAOS_SEED``
+and ``CHAOS_MODE`` (``worker-exit`` or ``cache-oserror``) parameterize
+them from the environment, so the matrix exercises several seeds of
+each fault family against the same assertion — chaos on, with recovery
+budgets at least the fault budget, is **bit-identical** to chaos off.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import (ConfigError, PointQuarantinedError, RunnerError)
+from repro.faults import ChaosConfig, ChaosPlan
+from repro.faults.chaos import NO_CHAOS
+from repro.runner import (ResultCache, SweepPoint, SweepRunner,
+                          result_fingerprint)
+from repro.runner.executors import executor
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "7"))
+CHAOS_MODE = os.environ.get("CHAOS_MODE", "worker-exit")
+
+
+# Registered at import time so fork-based pool workers inherit it.
+@executor("chaos-probe")
+def _run_probe(point):
+    return {"squared": point.knob("x", 0) ** 2}
+
+
+def _points(n=8):
+    return [SweepPoint.make("chaos-probe", label=f"chaos-{i}", x=i)
+            for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# The plan: deterministic, budgeted, schedule-independent.
+# ----------------------------------------------------------------------
+def test_plan_is_a_pure_function_of_seed_digest_attempt():
+    config = ChaosConfig(seed=CHAOS_SEED, exit_prob=0.4, delay_prob=0.4,
+                         io_error_prob=0.4, faults_budget=3)
+    a, b = ChaosPlan(config), ChaosPlan(config)
+    for digest in ("d1", "d2", "d3"):
+        for attempt in range(4):
+            assert a.for_attempt(digest, attempt) == \
+                b.for_attempt(digest, attempt)
+
+
+def test_different_seeds_draw_different_schedules():
+    digests = [f"digest-{i}" for i in range(64)]
+    one = ChaosPlan(ChaosConfig(seed=1, exit_prob=0.5))
+    two = ChaosPlan(ChaosConfig(seed=2, exit_prob=0.5))
+    schedule = lambda plan: [plan.for_attempt(d, 0).exit_mid_point
+                             for d in digests]
+    assert schedule(one) != schedule(two)
+
+
+def test_attempts_past_the_budget_are_chaos_free():
+    config = ChaosConfig(seed=CHAOS_SEED, exit_prob=1.0, io_error_prob=1.0,
+                         delay_prob=1.0, faults_budget=2)
+    plan = ChaosPlan(config)
+    assert plan.for_attempt("digest", 0).any
+    assert plan.for_attempt("digest", 1).any
+    assert plan.for_attempt("digest", 2) is NO_CHAOS
+    assert plan.for_attempt("digest", 99) is NO_CHAOS
+
+
+def test_exit_suppresses_io_error():
+    plan = ChaosPlan(ChaosConfig(seed=CHAOS_SEED, exit_prob=1.0,
+                                 io_error_prob=1.0))
+    decision = plan.for_attempt("digest", 0)
+    assert decision.exit_mid_point and not decision.io_error
+
+
+def test_config_validation_is_typed():
+    with pytest.raises(ConfigError):
+        ChaosConfig(exit_prob=1.5)
+    with pytest.raises(ConfigError):
+        ChaosConfig(max_delay=-1.0)
+    with pytest.raises(ConfigError):
+        ChaosConfig(faults_budget=-1)
+
+
+def test_chaos_requires_parallel_execution():
+    with pytest.raises(RunnerError, match="jobs > 1"):
+        SweepRunner(jobs=1, chaos=ChaosConfig(exit_prob=0.5))
+
+
+# ----------------------------------------------------------------------
+# The invariant: chaos + sufficient budget == bit-identical results.
+# ----------------------------------------------------------------------
+def test_chaos_within_budget_is_bit_identical():
+    points = _points()
+    baseline = SweepRunner(jobs=2).run(points)
+    if CHAOS_MODE == "cache-oserror":
+        chaos = ChaosConfig(seed=CHAOS_SEED, cache_error_prob=1.0,
+                            faults_budget=1)
+        runner = SweepRunner(jobs=2, chaos=chaos, crash_backoff=0.0)
+    else:
+        chaos = ChaosConfig(seed=CHAOS_SEED, exit_prob=0.5, delay_prob=0.3,
+                            max_delay=0.01, faults_budget=2)
+        runner = SweepRunner(jobs=2, chaos=chaos, crash_backoff=0.0,
+                             worker_death_budget=3)
+    shaken = runner.run(points)
+    for a, b in zip(baseline, shaken):
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_cache_oserror_chaos_degrades_cache_not_results(tmp_path):
+    points = _points()
+    baseline = SweepRunner(jobs=2).run(points)
+    cache = ResultCache(tmp_path, code_version="v")
+    chaos = ChaosConfig(seed=CHAOS_SEED, cache_error_prob=1.0,
+                        faults_budget=1)
+    runner = SweepRunner(jobs=2, cache=cache, chaos=chaos,
+                         crash_backoff=0.0)
+    shaken = runner.run(points)
+    for a, b in zip(baseline, shaken):
+        assert result_fingerprint(a) == result_fingerprint(b)
+    # The very first store hit the injected ENOSPC and the cache
+    # degraded to store-off — visible in the runner's registry.
+    assert cache.store_disabled
+    assert cache.store_errors == 1
+    assert runner.registry.counter("runner.cache.store_errors").value == 1
+
+
+def test_io_error_chaos_recovered_by_retries():
+    points = _points()
+    baseline = SweepRunner(jobs=2).run(points)
+    chaos = ChaosConfig(seed=CHAOS_SEED, io_error_prob=0.8, faults_budget=2)
+    runner = SweepRunner(jobs=2, chaos=chaos, retries=2, crash_backoff=0.0)
+    shaken = runner.run(points)
+    for a, b in zip(baseline, shaken):
+        assert result_fingerprint(a) == result_fingerprint(b)
+    assert runner.registry.counter("runner.points.failed").value == 0
+
+
+def test_chaos_beyond_budget_is_a_typed_error_never_a_hang():
+    # Every attempt exits the worker and the death budget is below the
+    # fault budget: the point must be quarantined, not retried forever.
+    chaos = ChaosConfig(seed=CHAOS_SEED, exit_prob=1.0, faults_budget=10)
+    runner = SweepRunner(jobs=2, chaos=chaos, worker_death_budget=2,
+                         crash_backoff=0.0)
+    points = _points(3)
+    with pytest.raises(RunnerError) as excinfo:
+        runner.run(points)
+    assert isinstance(excinfo.value.__cause__, PointQuarantinedError)
+    assert runner.registry.counter("runner.points.quarantined").value >= 1
+    assert runner.registry.counter("runner.pool.rebuilds").value >= 2
+
+
+def test_io_chaos_beyond_budget_fails_with_the_injected_error():
+    chaos = ChaosConfig(seed=CHAOS_SEED, io_error_prob=1.0, faults_budget=5)
+    runner = SweepRunner(jobs=2, chaos=chaos, retries=1, crash_backoff=0.0)
+    with pytest.raises(RunnerError, match="failed") as excinfo:
+        runner.run(_points(2))
+    assert isinstance(excinfo.value.__cause__, OSError)

@@ -108,3 +108,34 @@ def test_main_profile_writes_pstats(tmp_path, capsys):
     assert path.exists()
     stats = pstats.Stats(str(path))
     assert stats.total_calls > 0
+
+
+def test_parser_accepts_robustness_flags():
+    args = build_parser().parse_args(
+        ["figure7", "--retries", "2", "--point-timeout", "30",
+         "--journal", "/tmp/j.journal"])
+    assert args.retries == 2
+    assert args.point_timeout == pytest.approx(30.0)
+    assert args.journal == "/tmp/j.journal"
+    assert build_parser().parse_args(
+        ["figure7", "--resume", "x.journal"]).resume == "x.journal"
+
+
+def test_resume_conflicts_are_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="no-cache"):
+        main(["figure1", "--resume", str(tmp_path / "j"), "--no-cache"])
+    with pytest.raises(SystemExit, match="journal"):
+        main(["figure1", "--resume", str(tmp_path / "j"),
+              "--journal", str(tmp_path / "j2")])
+
+
+def test_main_journal_and_resume_roundtrip(tmp_path, capsys):
+    journal = tmp_path / "sweep.journal"
+    cache = tmp_path / "cache"
+    assert main(["figure1", "--journal", str(journal),
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert journal.exists()
+    assert main(["figure1", "--resume", str(journal),
+                 "--cache-dir", str(cache)]) == 0
+    assert "resuming" in capsys.readouterr().err

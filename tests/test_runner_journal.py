@@ -1,0 +1,218 @@
+"""The sweep journal: durability, rotation, replay, and resume."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import JournalError, SweepInterruptedError
+from repro.runner import (JOURNAL_SCHEMA, JournalState, ResultCache,
+                          SweepJournal, SweepPoint, SweepRunner,
+                          result_fingerprint)
+from repro.runner.executors import executor
+
+
+# Registered at import time so fork-based pool workers inherit them.
+@executor("journal-probe")
+def _run_probe(point):
+    return {"doubled": point.knob("x", 0) * 2}
+
+
+@executor("journal-slow-probe")
+def _run_slow_probe(point):
+    time.sleep(0.05)
+    return {"doubled": point.knob("x", 0) * 2}
+
+
+def _points(n=5):
+    return [SweepPoint.make("journal-probe", label=f"probe-{i}", x=i)
+            for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# File format and lifecycle.
+# ----------------------------------------------------------------------
+def test_create_writes_schema_header(tmp_path):
+    path = tmp_path / "sweep.journal"
+    journal = SweepJournal.create(path)
+    journal.close()
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["event"] == "journal-open"
+    assert first["schema"] == JOURNAL_SCHEMA
+    assert first["code"]
+
+
+def test_create_rotates_existing_journal_aside(tmp_path):
+    path = tmp_path / "sweep.journal"
+    with SweepJournal.create(path) as old:
+        old.append("done", digest="d1", cached=True)
+    journal = SweepJournal.create(path)
+    journal.close()
+    assert journal.rotated == 1
+    assert (tmp_path / "sweep.journal.1").exists()
+    # The fresh journal knows nothing about the rotated one's records.
+    assert SweepJournal.replay(path).done == {}
+    assert "d1" in SweepJournal.replay(f"{path}.1").done
+
+
+def test_append_replay_roundtrip(tmp_path):
+    path = tmp_path / "sweep.journal"
+    with SweepJournal.create(path) as journal:
+        journal.append("submit", digest="a")
+        journal.append("submit", digest="b")
+        journal.append("done", digest="a", cached=True)
+        journal.append("failed", digest="b", error="ValueError: nope")
+        assert journal.appended == 5  # header included
+    state = SweepJournal.replay(path)
+    assert state.completed("a")
+    assert "b" in state.failed
+    assert state.outstanding() == set()
+    assert state.code_version
+
+
+def test_done_without_cache_store_is_not_completed(tmp_path):
+    path = tmp_path / "sweep.journal"
+    with SweepJournal.create(path) as journal:
+        journal.append("done", digest="a", cached=False)
+    state = SweepJournal.replay(path)
+    assert "a" in state.done
+    assert not state.completed("a")  # resume must re-execute it
+
+
+def test_replay_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "sweep.journal"
+    with SweepJournal.create(path) as journal:
+        journal.append("done", digest="a", cached=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"event": "done", "digest": "b", "cach')  # no \n
+    state = SweepJournal.replay(path)
+    assert state.completed("a")
+    assert "b" not in state.done
+
+
+def test_replay_rejects_foreign_file(tmp_path):
+    path = tmp_path / "not-a-journal.jsonl"
+    path.write_text('{"event": "something-else"}\n')
+    with pytest.raises(JournalError, match="not a sweep journal"):
+        SweepJournal.replay(path)
+
+
+def test_replay_missing_file_is_typed_error(tmp_path):
+    with pytest.raises(JournalError, match="cannot read"):
+        SweepJournal.replay(tmp_path / "absent.journal")
+
+
+def test_later_done_clears_earlier_failure():
+    state = JournalState()
+    state.apply({"event": "submit", "digest": "a"})
+    state.apply({"event": "failed", "digest": "a"})
+    state.apply({"event": "done", "digest": "a", "cached": True})
+    assert state.completed("a")
+    assert "a" not in state.failed
+
+
+# ----------------------------------------------------------------------
+# Engine integration.
+# ----------------------------------------------------------------------
+def test_runner_journals_every_point(tmp_path):
+    path = tmp_path / "sweep.journal"
+    cache = ResultCache(tmp_path / "cache", code_version="v")
+    runner = SweepRunner(jobs=2, cache=cache, journal=str(path))
+    points = _points()
+    runner.run(points)
+    runner.journal.close()
+    state = SweepJournal.replay(path)
+    assert len(state.done) == len(points)
+    assert all(record["cached"] for record in state.done.values())
+    assert state.outstanding() == set()
+    assert runner.registry.counter("runner.journal.records").value > 0
+
+
+def test_resume_reexecutes_nothing_and_is_bit_identical(tmp_path):
+    path = tmp_path / "sweep.journal"
+    cache = ResultCache(tmp_path / "cache", code_version="v")
+    points = _points()
+    first = SweepRunner(jobs=2, cache=cache, journal=str(path))
+    cold = first.run(points)
+    first.journal.close()
+
+    resumed = SweepRunner(jobs=2, cache=cache,
+                          journal=SweepJournal.resume(path))
+    warm = resumed.run(points)
+    resumed.journal.close()
+    assert resumed.registry.counter("runner.points.executed").value == 0
+    assert resumed.registry.counter("runner.journal.replayed").value == \
+        len(points)
+    for a, b in zip(cold, warm):
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+
+def test_interrupted_sweep_journals_and_resumes(tmp_path):
+    path = tmp_path / "sweep.journal"
+    cache = ResultCache(tmp_path / "cache", code_version="v")
+    points = [SweepPoint.make("journal-slow-probe", label=f"slow-{i}", x=i)
+              for i in range(12)]
+
+    slow = SweepRunner(jobs=2, cache=cache, journal=str(path))
+    stop = threading.Event()
+
+    def cancel_after_first_done():
+        # Cancel as soon as one point is durably journaled, while
+        # plenty of the sweep is still outstanding.
+        while not slow.journal.state.done and not stop.wait(0.005):
+            pass
+        slow.request_cancel()
+
+    watcher = threading.Thread(target=cancel_after_first_done)
+    watcher.start()
+    try:
+        with pytest.raises(SweepInterruptedError, match="outstanding"):
+            slow.run(points)
+    finally:
+        stop.set()
+        watcher.join()
+        slow.journal.close()
+
+    state = SweepJournal.replay(path)
+    assert state.interruptions  # the stop itself is on the record
+    completed = sum(1 for digest in state.done if state.completed(digest))
+    assert completed >= 1
+
+    resumed = SweepRunner(jobs=2, cache=cache,
+                          journal=SweepJournal.resume(path))
+    results = resumed.run(points)
+    resumed.journal.close()
+    # Bit-identical to an uninterrupted run, with the journaled prefix
+    # replayed from cache rather than re-executed.
+    expected = SweepRunner(jobs=1).run(points)
+    for a, b in zip(results, expected):
+        assert result_fingerprint(a) == result_fingerprint(b)
+    assert resumed.registry.counter("runner.journal.replayed").value \
+        >= completed
+    assert resumed.registry.counter("runner.points.executed").value \
+        <= len(points) - completed
+
+
+def test_serial_cancellation_is_cooperative(tmp_path):
+    path = tmp_path / "sweep.journal"
+    runner = SweepRunner(jobs=1, journal=str(path))
+    runner.request_cancel()
+    with pytest.raises(SweepInterruptedError):
+        runner.run(_points(3))
+    runner.journal.close()
+    assert SweepJournal.replay(path).interruptions
+
+
+def test_journal_failed_record_for_exhausted_point(tmp_path):
+    path = tmp_path / "sweep.journal"
+    runner = SweepRunner(jobs=1, journal=str(path))
+    with pytest.raises(Exception, match="unknown sweep-point kind"):
+        runner.run([SweepPoint.make("journal-bogus")])
+    runner.journal.close()
+    state = SweepJournal.replay(path)
+    assert len(state.failed) == 1
+    record = next(iter(state.failed.values()))
+    assert "unknown sweep-point kind" in record["error"]

@@ -1,0 +1,121 @@
+"""Worker-loss recovery: pool rebuilds, blame attribution, quarantine,
+and spool hygiene on abort paths."""
+
+from __future__ import annotations
+
+import glob
+import os
+import pathlib
+import tempfile
+import time
+
+import pytest
+
+from repro.errors import (PointQuarantinedError, PointTimeoutError,
+                          RunnerError)
+from repro.runner import SweepPoint, SweepRunner, result_fingerprint
+from repro.runner.executors import executor
+
+
+# Registered at import time so fork-based pool workers inherit them.
+@executor("death-probe")
+def _run_probe(point):
+    return {"tripled": point.knob("x", 0) * 3}
+
+
+@executor("death-crash-once")
+def _run_crash_once(point):
+    """Kills its worker the first time, succeeds ever after — the
+    sentinel file survives the ``os._exit`` precisely because worker
+    death cannot unlink what was already durably created."""
+    sentinel = pathlib.Path(point.knob("sentinel"))
+    if not sentinel.exists():
+        sentinel.write_text("died once")
+        os._exit(86)
+    return {"tripled": point.knob("x", 0) * 3}
+
+
+@executor("death-always-crash")
+def _run_always_crash(point):
+    os._exit(86)
+
+
+@executor("death-hang")
+def _run_hang(point):
+    time.sleep(30.0)
+    return "never"
+
+
+def _points(n=6):
+    return [SweepPoint.make("death-probe", label=f"alive-{i}", x=i)
+            for i in range(n)]
+
+
+def test_worker_death_recovers_bit_identically(tmp_path):
+    points = _points()
+    crasher = SweepPoint.make("death-crash-once", label="crasher", x=2,
+                              sentinel=str(tmp_path / "sentinel"))
+    points.insert(2, crasher)
+    baseline = [{"tripled": i * 3} for i in range(2)] + [{"tripled": 6}] \
+        + [{"tripled": i * 3} for i in range(2, 6)]
+
+    runner = SweepRunner(jobs=2, crash_backoff=0.0)
+    results = runner.run(points)
+    for a, b in zip(results, baseline):
+        assert result_fingerprint(a) == result_fingerprint(b)
+    assert runner.registry.counter("runner.pool.rebuilds").value >= 1
+    assert runner.registry.counter("runner.points.quarantined").value == 0
+    assert runner.registry.counter("runner.points.failed").value == 0
+
+
+def test_deterministic_killer_is_quarantined_sweep_drains():
+    points = _points(4)
+    points.insert(1, SweepPoint.make("death-always-crash", label="killer"))
+    runner = SweepRunner(jobs=2, worker_death_budget=2, crash_backoff=0.0)
+    with pytest.raises(RunnerError, match="killer") as excinfo:
+        runner.run(points)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, PointQuarantinedError)
+    assert "worker_death_budget=2" in str(cause)
+    registry = runner.registry
+    assert registry.counter("runner.points.quarantined").value == 1
+    # The innocent points all completed despite the rebuilds.
+    assert registry.counter("runner.points.executed").value == 4
+    assert registry.counter("runner.pool.rebuilds").value >= 2
+
+
+def test_crash_backoff_is_seeded_and_bounded():
+    runner = SweepRunner(jobs=2, crash_backoff=0.01, backoff_seed=3)
+    t0 = time.perf_counter()
+    runner._crash_pause(1)
+    runner._crash_pause(2)
+    elapsed = time.perf_counter() - t0
+    assert 0.0 < elapsed < 1.0
+    # Same seed, same pauses: the schedule is reproducible.
+    a = SweepRunner(jobs=2, crash_backoff=0.01, backoff_seed=3)
+    b = SweepRunner(jobs=2, crash_backoff=0.01, backoff_seed=3)
+    assert [a._crash_rng.random() for _ in range(4)] == \
+        [b._crash_rng.random() for _ in range(4)]
+
+
+def _spool_dirs():
+    return set(glob.glob(os.path.join(tempfile.gettempdir(),
+                                      "repro-sweep-spool-*")))
+
+
+def test_timeout_abort_leaves_no_spool_files():
+    before = _spool_dirs()
+    runner = SweepRunner(jobs=2, timeout=0.3, telemetry=True)
+    with pytest.raises(PointTimeoutError):
+        runner.run([SweepPoint.make("death-hang", label="hung")])
+    assert _spool_dirs() == before
+
+
+def test_worker_death_leaves_no_spool_files(tmp_path):
+    before = _spool_dirs()
+    points = _points(3)
+    points.append(SweepPoint.make("death-crash-once", label="crasher", x=1,
+                                  sentinel=str(tmp_path / "sentinel")))
+    runner = SweepRunner(jobs=2, telemetry=True, crash_backoff=0.0)
+    runner.run(points)
+    assert _spool_dirs() == before
