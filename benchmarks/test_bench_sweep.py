@@ -100,6 +100,12 @@ def test_sweep_runner_throughput(benchmark, tmp_path):
         # Simulation is deterministic: the sweep's content hash must
         # match the committed measurement exactly.
         assert baseline["sweep_sha"] == sha
+        # The committed measurement's parallel floor is only meaningful
+        # when it was taken on a machine with real fan-out; the stamped
+        # cpus field says which.  (Single-core containers record
+        # parallel_speedup ~1x honestly — don't flake on them.)
+        if baseline.get("cpus", 0) >= 4:
+            assert baseline["parallel_speedup"] >= MIN_PARALLEL_SPEEDUP
     assert warm_speedup >= MIN_WARM_SPEEDUP, (
         f"warm cache only {warm_speedup:.1f}x faster than cold serial "
         f"({warm_seconds:.3f}s vs {serial_seconds:.3f}s)")

@@ -77,6 +77,9 @@ class DataScalarNode(MemoryInterface):
             node_id, medium, config.broadcast_queue_latency,
             config.dcache.line_size, deliver, num_peers=num_peers,
         )
+        # Hot-path constants (load_issue runs once per load issue).
+        self._d_hit_latency = config.dcache.hit_latency
+        self._page_size = config.memory.page_size
         #: Loads that bypassed the cache but still update it at commit.
         self.remote_loads = 0
         self.local_loads = 0
@@ -99,10 +102,9 @@ class DataScalarNode(MemoryInterface):
     # ------------------------------------------------------------------
     def load_issue(self, now: int, addr: int, size: int) -> LoadHandle:
         if self.dtlb is not None:
-            now = self.dtlb.access(now, addr,
-                                   self.config.memory.page_size)
+            now = self.dtlb.access(now, addr, self._page_size)
         line = self.dcache.line_addr(addr)
-        hit_latency = self.config.dcache.hit_latency
+        hit_latency = self._d_hit_latency
         if self.dcache.lookup(addr):
             handle = LoadHandle(addr, size, now)
             handle.issue_hit = True
@@ -154,13 +156,17 @@ class DataScalarNode(MemoryInterface):
     # ------------------------------------------------------------------
     def commit_mem(self, now: int, addr: int, size: int, is_store: bool,
                    handle) -> None:
-        line = self.dcache.line_addr(addr)
-        canonical_hit = self.dcache.lookup(addr)
-        result = self.dcache.commit_access(addr, is_write=is_store)
+        dcache = self.dcache
+        result = dcache.commit_access(addr, is_write=is_store)
+        # ``commit_access`` evaluates residency before mutating, so its
+        # ``hit`` is exactly the canonical (pre-access) outcome — no
+        # separate ``lookup`` probe needed.
+        canonical_hit = result.hit
         if self._tracer is not None:
             self._tracer.emit(EventKind.CACHE_COMMIT, now, self.node_id,
-                              line=line, store=is_store, hit=canonical_hit,
-                              filled=result.filled, evicted=result.evicted)
+                              line=dcache.line_addr(addr), store=is_store,
+                              hit=canonical_hit, filled=result.filled,
+                              evicted=result.evicted)
         if result.writeback is not None:
             self._complete_writeback(now, result.writeback)
         if handle is not None and handle.dcub_line is not None:
@@ -172,9 +178,8 @@ class DataScalarNode(MemoryInterface):
             self.tracker.classify(handle.issue_hit, canonical_hit)
         if is_store:
             self._complete_store(now, addr, size, canonical_hit)
-        filled = result.filled
-        if filled and not canonical_hit:
-            self._settle_canonical_miss(now, addr, line)
+        if result.filled and not canonical_hit:
+            self._settle_canonical_miss(now, addr, dcache.line_addr(addr))
 
     def _settle_canonical_miss(self, now: int, addr: int, line: int) -> None:
         """A canonical line fetch committed: balance broadcasts against

@@ -213,12 +213,18 @@ class DataScalarSystem:
             page_table, layout_summary = build_page_table(program, spec)
         medium = self._make_medium()
         nodes: "list[DataScalarNode]" = []
+        # Per-pipeline wake cycles for the selective fast-forward loop
+        # (see :meth:`_run_selective`).  A broadcast delivery is the one
+        # way a peer creates work for an idle node, so the deliver hook
+        # zeroes the target's wake to force a re-tick and a fresh bound.
+        wake = [0] * config.num_nodes
 
         def deliver(src: int, line: int, arrivals) -> None:
             for node in nodes:
                 arrival = arrivals[node.node_id]
                 if arrival is not None:
                     node.bshr.arrival(arrival, line)
+                    wake[node.node_id] = 0
 
         if tracer is not None:
             plain_deliver = deliver
@@ -287,35 +293,55 @@ class DataScalarSystem:
             fault_acc = recorder.accumulator("fault-recovery",
                                              under="timing-loop")
 
+        # Per-stage wall-time attribution for the timing loop: when a
+        # span recorder is active, every pipeline charges its commit /
+        # memory / issue stage time to shared timing-loop accumulators
+        # and the loop drives the staged tick variant.  Without a
+        # recorder the flat fast path runs untouched.
+        stage_accs = None
+        if recorder is not None:
+            stage_accs = (
+                recorder.accumulator("commit", under="timing-loop"),
+                recorder.accumulator("memory", under="timing-loop"),
+                recorder.accumulator("issue", under="timing-loop"),
+            )
+            for pipeline in pipelines:
+                pipeline.attach_stage_accumulators(stage_accs)
+        ticks = [p.tick_spanned if stage_accs is not None else p.tick
+                 for p in pipelines]
+
         # Dense per-cycle ticking is required whenever an observer wants
         # to see every cycle; otherwise skip provably idle cycle ranges.
         fast_forward = config.fast_forward and observer is None
         cycle = 0
         with spans.span("timing-loop"):
-            while not all(p.done for p in pipelines):
-                if cycle >= config.max_cycles:
-                    raise SimulationError(
-                        f"DataScalar run exceeded {config.max_cycles} "
-                        f"cycles"
-                    )
-                if faulted:
-                    if fault_acc is not None:
-                        tick0 = time.perf_counter()
-                        for node in nodes:
-                            node.bshr.check_timeouts(cycle)
-                        fault_acc.add(time.perf_counter() - tick0)
+            if fast_forward and not faulted and tracer is None:
+                cycle = self._run_selective(pipelines, ticks, wake, config)
+            else:
+                while not all(p.done for p in pipelines):
+                    if cycle >= config.max_cycles:
+                        raise SimulationError(
+                            f"DataScalar run exceeded {config.max_cycles} "
+                            f"cycles"
+                        )
+                    if faulted:
+                        if fault_acc is not None:
+                            tick0 = time.perf_counter()
+                            for node in nodes:
+                                node.bshr.check_timeouts(cycle)
+                            fault_acc.add(time.perf_counter() - tick0)
+                        else:
+                            for node in nodes:
+                                node.bshr.check_timeouts(cycle)
+                    for tick in ticks:
+                        tick(cycle)
+                    if observer is not None:
+                        observer(cycle, pipelines, nodes, medium)
+                    if fast_forward:
+                        cycle = self._advance(cycle, pipelines, config,
+                                              extra_event)
                     else:
-                        for node in nodes:
-                            node.bshr.check_timeouts(cycle)
-                for pipeline in pipelines:
-                    pipeline.tick(cycle)
-                if observer is not None:
-                    observer(cycle, pipelines, nodes, medium)
-                if fast_forward:
-                    cycle = self._advance(cycle, pipelines, config,
-                                          extra_event)
-                else:
-                    cycle += 1
+                        cycle += 1
 
         with spans.span("analysis"):
             return self._collect(cycle, pipelines, nodes, medium,
@@ -362,6 +388,86 @@ class DataScalarSystem:
             return bound
 
         return fault_event
+
+    @staticmethod
+    def _run_selective(pipelines, ticks, wake, config) -> int:
+        """Drive the timing loop with *per-pipeline* idle skipping (the
+        plain fast-forward path: no faults, no tracer, no observer).
+
+        Classic fast-forward (:meth:`_advance`) only skips cycles where
+        *every* node is idle, so one busy node forces all of its idle
+        peers to tick every cycle.  Here each pipeline carries its own
+        wake cycle — the :meth:`Pipeline.next_event` bound computed
+        right after its last tick — and simply is not ticked before it.
+        The quiescence argument is unchanged: ticks before a pipeline's
+        own bound do nothing but stall bookkeeping, and that bookkeeping
+        is replayed exactly by one :meth:`Pipeline.note_skipped` call
+        just before the next real tick (the pipeline's fetch state is
+        frozen in between, so deferred replay classifies every skipped
+        cycle identically).
+
+        The one way a peer creates work for an idle pipeline is a
+        broadcast delivery, and deliveries are materialized eagerly (at
+        broadcast time, with absolute arrival cycles): the system's
+        ``deliver`` hook zeroes the target's ``wake`` entry, forcing a
+        re-tick and a fresh bound.  A pipeline with no self-generated
+        event at all (``next_event`` = inf — wedged waiting on a peer)
+        is woken at its deadlock-detection tick once no peer has an
+        earlier event, so protocol hangs still surface as typed errors.
+        """
+        max_cycles = config.max_cycles
+        num = len(pipelines)
+        last_tick = [0] * num  # first cycle not yet stall-accounted
+        running = num
+        cycle = 0
+        while running:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"DataScalar run exceeded {max_cycles} cycles"
+                )
+            for i in range(num):
+                pipeline = pipelines[i]
+                if pipeline.done or wake[i] > cycle:
+                    continue
+                start = last_tick[i]
+                if start < cycle:
+                    pipeline.note_skipped(start, cycle)
+                ticks[i](cycle)
+                last_tick[i] = cycle + 1
+                if pipeline.done:
+                    running -= 1
+                else:
+                    wake[i] = pipeline.next_event(cycle)
+            if not running:
+                # Match the dense loop's exit value: it advances once
+                # more after the tick that finished the last pipeline.
+                return cycle + 1
+            nxt = cycle + 1
+            target = _INF
+            for i in range(num):
+                if pipelines[i].done:
+                    continue
+                event = wake[i]
+                if event <= nxt:
+                    target = nxt
+                    break
+                if event < target:
+                    target = event
+            if target == _INF:
+                # No pipeline has a self-generated event: jump straight
+                # to the earliest deadlock-detector tick and force the
+                # stuck pipelines awake there so the error surfaces.
+                target = min(p._last_commit_cycle + DEADLOCK_CYCLES + 1
+                             for p in pipelines if not p.done)
+                for i in range(num):
+                    if not pipelines[i].done and wake[i] > target:
+                        wake[i] = target
+            if target > max_cycles:
+                target = max_cycles
+            if target < nxt:
+                target = nxt
+            cycle = int(target)
+        return cycle
 
     @staticmethod
     def _advance(cycle: int, pipelines, config, extra_event=None) -> int:

@@ -5,6 +5,12 @@ queue, to prevent loads from bypassing stores to the same address.  Loads
 are sent from this queue to the cache at issue time, while stores are sent
 to the cache at commit time.  Loads can be serviced in a single cycle by
 stores to the same address that are ahead in the queue."
+
+The queue keeps a running count of unissued stores so the
+conservative-disambiguation check is O(1) in the common all-issued
+state, and the forwarding scan walks the store deque in place (newest
+first, early exit at the load's own age) without building candidate
+lists.
 """
 
 from __future__ import annotations
@@ -17,12 +23,20 @@ from ..errors import SimulationError
 class LSQ:
     """Memory instructions in program order, for capacity and forwarding."""
 
+    __slots__ = ("capacity", "_entries", "_stores", "forwards", "deferred",
+                 "_unissued_stores")
+
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries = deque()
         self._stores = deque()  # store entries only, program order
         self.forwards = 0
         self.deferred = 0
+        #: Stores in the queue that have not claimed an issue slot yet.
+        #: Maintained by :meth:`insert` / :meth:`note_store_issued`;
+        #: lets :meth:`has_unissued_earlier_store` skip its scan when
+        #: every queued store has already issued (the steady state).
+        self._unissued_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -31,11 +45,16 @@ class LSQ:
         return len(self._entries) >= self.capacity
 
     def insert(self, entry) -> None:
-        if self.is_full():
+        if len(self._entries) >= self.capacity:
             raise SimulationError("LSQ overflow — check dispatch gating")
         self._entries.append(entry)
         if entry.is_store:
             self._stores.append(entry)
+            self._unissued_stores += 1
+
+    def note_store_issued(self) -> None:
+        """Record that one queued store moved to the issued state."""
+        self._unissued_stores -= 1
 
     def release_head(self, entry) -> None:
         """Remove ``entry``, which must be the oldest memory instruction."""
@@ -48,8 +67,11 @@ class LSQ:
     def has_unissued_earlier_store(self, load) -> bool:
         """True when any store older than ``load`` has not issued yet —
         the conservative-disambiguation stall condition."""
+        if not self._unissued_stores:
+            return False
+        seq = load.seq
         for entry in self._stores:
-            if entry.seq >= load.seq:
+            if entry.seq >= seq:
                 break
             if not entry.issued:
                 return True
@@ -68,7 +90,8 @@ class LSQ:
         for entry in reversed(self._stores):
             if entry.seq >= seq:
                 continue
-            if entry.addr < hi and lo < entry.addr + entry.size:
+            addr = entry.addr
+            if addr < hi and lo < addr + entry.size:
                 if entry.issued:
                     self.forwards += 1
                     return entry, True

@@ -9,9 +9,29 @@ paper's correspondence protocol likewise excludes speculative broadcasts).
 
 Per simulated cycle the pipeline commits (in order), issues (oldest-ready
 first), and fetches/dispatches — each up to its configured width.
+
+Two tick implementations share the per-cycle semantics:
+
+* :meth:`Pipeline.tick` is the **fast path**: one flat function with the
+  stage logic inlined, per-cycle attribute lookups hoisted into locals,
+  and the per-config dispatch structures (FU latency/limit tables,
+  widths, the RUU free list) precomputed at construction.  It allocates
+  nothing on the steady-state cycle.
+* :meth:`Pipeline.tick_spanned` is the **staged path**: the same cycle
+  expressed as the classic ``_commit`` / ``_resolve_pending_loads`` /
+  ``_issue`` / ``_fetch`` stage methods, with each stage's wall time
+  charged to a ``timing-loop/commit|memory|issue`` span accumulator.
+  The system loop selects it only while a span recorder is active.
+
+Both orders are identical (commit → resolve → issue → fetch) and both
+must stay bit-identical — the equivalence suite runs every workload
+through each.
 """
 
 from __future__ import annotations
+
+import time
+from heapq import heappop as _heappop, heappush as _heappush
 
 from ..errors import SimulationError
 from ..isa.opcodes import OpClass
@@ -24,6 +44,8 @@ from .ruu import RUU
 
 _LOAD = int(OpClass.LOAD)
 _STORE = int(OpClass.STORE)
+_COMMIT_EVENT = EventKind.COMMIT
+_INF = float("inf")
 
 #: Cycles with no commit before the pipeline declares itself wedged.
 DEADLOCK_CYCLES = 1_000_000
@@ -63,12 +85,29 @@ class Pipeline:
         self.config = config
         self.mem = mem
         self._trace = iter(trace)
+        self._trace_next = self._trace.__next__
+        # Fan-out views expose their buffered-record deque; pulling from
+        # it directly skips a call layer on the fetch fast path.  Any
+        # other trace source leaves this ``None`` (falsy), falling back
+        # to the iterator protocol.
+        self._trace_queue = getattr(self._trace, "_queue", None)
         self._trace_done = False
         self._fetch_buffer = None
         self.ruu = RUU(config.ruu_entries)
         self.lsq = LSQ(config.lsq_entries)
         self.fus = FUPool(config)
         self.stats = PipelineStats()
+        # Per-config dispatch structures, hoisted once so the per-cycle
+        # fast path never chases ``self.config``.
+        self._commit_width = config.commit_width
+        self._issue_width = config.issue_width
+        self._fetch_width = config.fetch_width
+        self._mispredict_penalty = config.misprediction_penalty
+        self._oracle = config.oracle_disambiguation
+        # Pre-bound memory-system methods (the binding is per-call
+        # otherwise, and commit/fetch hit these once per instruction).
+        self._commit_mem = mem.commit_mem
+        self._ifetch_line = mem.ifetch_line
         self._icache_line_mask = ~(icache_line - 1)
         self._fetch_ready = 0
         self._fetched_line = None
@@ -80,6 +119,10 @@ class Pipeline:
         #: Observability hook (``None`` = untraced: zero overhead).
         self._tracer = None
         self._trace_node = 0
+        #: ``(commit, memory, issue)`` span accumulators, set by the
+        #: system loop when phase telemetry is recording; consumed by
+        #: :meth:`tick_spanned` only.
+        self._stage_accs = None
 
     def attach_tracer(self, tracer, node_id: int) -> None:
         """Emit this pipeline's events to ``tracer`` as node ``node_id``.
@@ -88,6 +131,12 @@ class Pipeline:
         reported statistic changes, with fast-forward on or off."""
         self._tracer = tracer
         self._trace_node = node_id
+
+    def attach_stage_accumulators(self, accumulators) -> None:
+        """Charge per-stage wall time to ``(commit, memory, issue)``
+        span accumulators; callers then drive :meth:`tick_spanned`
+        instead of :meth:`tick`.  Purely observational."""
+        self._stage_accs = accumulators
 
     @staticmethod
     def _build_predictor(kind: str):
@@ -107,18 +156,298 @@ class Pipeline:
         raise SimulationError(f"unknown branch predictor {kind!r}")
 
     # ------------------------------------------------------------------
-    # One simulated cycle.
+    # One simulated cycle — the flat fast path.
     # ------------------------------------------------------------------
     def tick(self, now: int) -> None:
         """Simulate cycle ``now``.  Sets :attr:`done` when the program has
-        fully drained through the machine."""
+        fully drained through the machine.
+
+        Stage logic is inlined (commit → resolve → issue → fetch) and
+        must mirror the staged methods below exactly — any semantic
+        change lands in both or the equivalence suite fails.
+        """
+        if self.done:
+            return
+        stats = self.stats
+        stats.cycles = now + 1
+        ruu = self.ruu
+        window = ruu.window
+        lsq = self.lsq
+        tracer = self._tracer
+        nxt = now + 1
+
+        # ---- commit stage (in order, up to commit_width) ----
+        if window:
+            head = window[0]
+            if head.issued:
+                result_time = head.result_time
+                if result_time is not None and result_time <= now:
+                    committed = 0
+                    width = self._commit_width
+                    commit_mem = self._commit_mem
+                    popleft = window.popleft
+                    last_writer = ruu._last_writer
+                    free = ruu._free
+                    free_cap = ruu.capacity
+                    while True:
+                        if tracer is not None:
+                            tracer.emit(_COMMIT_EVENT, now, self._trace_node,
+                                        seq=head.seq, op=head.op_class)
+                        if head.is_load:
+                            if not head.private:
+                                commit_mem(now, head.addr, head.size,
+                                           False, head.handle)
+                            lsq.release_head(head)
+                            stats.loads += 1
+                        elif head.is_store:
+                            if not head.private:
+                                commit_mem(now, head.addr, head.size,
+                                           True, head.handle)
+                            lsq.release_head(head)
+                            stats.stores += 1
+                        # Inlined RUU.pop_head (head recycling):
+                        popleft()
+                        dest = head.dest
+                        if dest is not None \
+                                and last_writer.get(dest) is head:
+                            del last_writer[dest]
+                        if len(free) < free_cap:
+                            free.append(head)
+                        committed += 1
+                        if committed >= width or not window:
+                            break
+                        head = window[0]
+                        if not head.issued:
+                            break
+                        result_time = head.result_time
+                        if result_time is None or result_time > now:
+                            break
+                    stats.committed += committed
+                    self._last_commit_cycle = now
+
+        # ---- load completion (memory system resolves asynchronously) ----
+        pending = self._pending_loads
+        if pending:
+            kept = 0
+            resolve = ruu.resolve
+            for entry in pending:
+                ready = entry.handle.ready
+                if ready is None:
+                    pending[kept] = entry
+                    kept += 1
+                else:
+                    when = entry.issued_at + 1
+                    if ready > when:
+                        when = ready
+                    resolve(entry, when)
+            if kept != len(pending):
+                del pending[kept:]
+
+        # ---- issue stage (oldest-ready first, up to issue_width) ----
+        # Skipping schedulable() when nothing can be ready is safe: on
+        # such cycles it returns [] and at most restamps the
+        # stalled-bucket retry cycle, which only requeue() reads — and
+        # requeues happen solely inside an issue pass, whose own
+        # schedulable() call restamps first.
+        heap = ruu._ready_heap
+        stalled = ruu._stalled
+        if stalled:
+            if ruu._stalled_retry <= now or (heap and heap[0][0] <= now):
+                batch = ruu.schedulable(now)
+            else:
+                batch = None
+        elif heap and heap[0][0] <= now:
+            # Inlined RUU.schedulable for the common no-stalled case:
+            # restamp the retry cycle (requeues this pass land in the
+            # bucket), then drain the ready prefix.
+            ruu._stalled_retry = nxt
+            batch = []
+            append = batch.append
+            while heap and heap[0][0] <= now:
+                entry = _heappop(heap)[2]
+                if not entry.issued:
+                    append(entry)
+        else:
+            batch = None
+        if batch:
+            fus = self.fus
+            used = fus.begin_cycle(now)
+            limits = fus.limit_table
+            latencies = fus.latency_table
+            requeue = ruu.requeue
+            width = self._issue_width
+            issued = 0
+            blocked = 0  # FU classes with no free slot left this cycle
+            for position, entry in enumerate(batch):
+                if issued >= width:
+                    for rest in batch[position:]:
+                        requeue(rest, nxt)
+                    break
+                op_class = entry.op_class
+                class_bit = 1 << op_class
+                if blocked & class_bit:
+                    requeue(entry, nxt)
+                    continue
+                if used[op_class] >= limits[op_class]:
+                    blocked |= class_bit
+                    requeue(entry, nxt)
+                    continue
+                used[op_class] += 1
+                if entry.is_load:
+                    if not self._issue_load(entry, now):
+                        continue
+                else:
+                    entry.issued = True
+                    entry.issued_at = now
+                    if entry.is_store:
+                        lsq._unissued_stores -= 1
+                        when = nxt
+                    else:
+                        when = now + latencies[op_class]
+                    # Inlined RUU.resolve (fixed-latency completion):
+                    entry.result_time = when
+                    dependents = entry.dependents
+                    if dependents:
+                        for dep in dependents:
+                            if when > dep.operand_time:
+                                dep.operand_time = when
+                            dep.unresolved -= 1
+                            if dep.unresolved == 0 and not dep.issued:
+                                _heappush(heap, (dep.operand_time,
+                                                 dep.seq, dep))
+                        entry.dependents = None
+                issued += 1
+
+        # ---- fetch/dispatch stage (perfect branch prediction) ----
+        redirect = self._redirect_after
+        fetch_open = True
+        if redirect is not None:
+            # A mispredicted branch owns fetch until it resolves.
+            resolve_time = redirect.result_time
+            if resolve_time is None or resolve_time > now:
+                stats.fetch_stalls += 1
+                if tracer is not None:
+                    self._trace_stall(now, "redirect")
+                fetch_open = False
+            else:
+                ready = resolve_time + self._mispredict_penalty
+                if ready > self._fetch_ready:
+                    self._fetch_ready = ready
+                self._redirect_after = None
+        if fetch_open:
+            if self._trace_done or now < self._fetch_ready:
+                if not self._trace_done:
+                    stats.fetch_stalls += 1
+                    if tracer is not None:
+                        self._trace_stall(now, "fetch")
+            else:
+                buffer = self._fetch_buffer
+                trace_next = self._trace_next
+                trace_queue = self._trace_queue
+                dispatch = ruu.dispatch
+                window_cap = ruu.capacity
+                lsq_entries = lsq._entries
+                lsq_cap = lsq.capacity
+                line_mask = self._icache_line_mask
+                fetched_line = self._fetched_line
+                predictor = self._predictor
+                for _ in range(self._fetch_width):
+                    dyn = buffer
+                    if dyn is None:
+                        if trace_queue:
+                            dyn = trace_queue.popleft()
+                        else:
+                            try:
+                                dyn = trace_next()
+                            except StopIteration:
+                                self._trace_done = True
+                                break
+                        buffer = dyn
+                    if len(window) >= window_cap:
+                        stats.window_stalls += 1
+                        if tracer is not None:
+                            self._trace_stall(now, "window")
+                        break
+                    op_class = dyn.op_class
+                    is_mem = op_class == _LOAD or op_class == _STORE
+                    if is_mem and len(lsq_entries) >= lsq_cap:
+                        stats.lsq_stalls += 1
+                        if tracer is not None:
+                            self._trace_stall(now, "lsq")
+                        break
+                    line = dyn.pc & line_mask
+                    if line != fetched_line:
+                        ready = self._ifetch_line(now, line)
+                        fetched_line = line
+                        if ready > now:
+                            # Miss: the rest of this fetch group waits.
+                            self._fetch_ready = ready
+                            break
+                    buffer = None
+                    entry = dispatch(dyn, nxt)
+                    if is_mem:
+                        lsq.insert(entry)
+                    if predictor is not None and dyn.is_cond_branch:
+                        stats.branches += 1
+                        predicted = predictor.predict(dyn.pc)
+                        predictor.train(dyn.pc, dyn.taken)
+                        if predicted != dyn.taken:
+                            # Wrong path until this branch resolves:
+                            # stop fetch.
+                            stats.mispredicts += 1
+                            self._redirect_after = entry
+                            break
+                self._fetched_line = fetched_line
+                self._fetch_buffer = buffer
+
+        if self._trace_done and not window:
+            if self.mem.drain(now):
+                self.done = True
+            return
+        if now - self._last_commit_cycle > DEADLOCK_CYCLES:
+            raise SimulationError(
+                f"no commit for {DEADLOCK_CYCLES} cycles at cycle {now}; "
+                f"head={ruu.head()!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # One simulated cycle — the staged/instrumented path.
+    # ------------------------------------------------------------------
+    def tick_spanned(self, now: int) -> None:
+        """Bit-identical staged variant of :meth:`tick`.
+
+        Charges each stage's wall clock to the ``timing-loop/commit``,
+        ``timing-loop/memory`` (load resolution), and
+        ``timing-loop/issue`` accumulators installed by
+        :meth:`attach_stage_accumulators`.  Fetch — and the functional
+        front end it pulls on — is deliberately left untimed here so the
+        separately-accumulated ``timing-loop/frontend`` record and the
+        root span's ``<self>`` residual stay disjoint from the stage
+        accumulators (the breakdown's children must never sum past the
+        root).
+        """
         if self.done:
             return
         self.stats.cycles = now + 1
-        self._commit(now)
-        self._resolve_pending_loads(now)
-        self._issue(now)
-        self._fetch(now)
+        accumulators = self._stage_accs
+        if accumulators is None:
+            self._commit(now)
+            self._resolve_pending_loads(now)
+            self._issue(now)
+            self._fetch(now)
+        else:
+            commit_acc, memory_acc, issue_acc = accumulators
+            clock = time.perf_counter
+            t0 = clock()
+            self._commit(now)
+            t1 = clock()
+            commit_acc.add(t1 - t0)
+            self._resolve_pending_loads(now)
+            t2 = clock()
+            memory_acc.add(t2 - t1)
+            self._issue(now)
+            issue_acc.add(clock() - t2)
+            self._fetch(now)
         if self._trace_done and not self.ruu.window:
             if self.mem.drain(now):
                 self.done = True
@@ -134,7 +463,7 @@ class Pipeline:
     # ------------------------------------------------------------------
     def _commit(self, now: int) -> None:
         tracer = self._tracer
-        for _ in range(self.config.commit_width):
+        for _ in range(self._commit_width):
             head = self.ruu.head()
             if head is None:
                 break
@@ -186,7 +515,7 @@ class Pipeline:
         ruu = self.ruu
         fus = self.fus
         batch = ruu.schedulable(now)
-        width = self.config.issue_width
+        width = self._issue_width
         blocked_classes = 0  # FU classes with no free slot left this cycle
         for position, entry in enumerate(batch):
             if issued >= width:
@@ -218,32 +547,43 @@ class Pipeline:
             self.ruu.requeue(entry, now + 1)
 
     def _issue_load(self, entry, now: int) -> bool:
-        if (not self.config.oracle_disambiguation
-                and self.lsq.has_unissued_earlier_store(entry)):
-            # Conservative disambiguation: wait for every earlier store
-            # address to resolve before going to memory.
-            self.ruu.requeue(entry, now + 1)
-            return False
-        store, resolved = self.lsq.forwarding_store(entry)
-        if not resolved:
-            # May not bypass an unissued same-address store; retry.
-            self.ruu.requeue(entry, now + 1)
-            return False
+        lsq = self.lsq
+        if lsq._stores:
+            if (not self._oracle
+                    and lsq.has_unissued_earlier_store(entry)):
+                # Conservative disambiguation: wait for every earlier
+                # store address to resolve before going to memory.
+                self.ruu.requeue(entry, now + 1)
+                return False
+            store, resolved = lsq.forwarding_store(entry)
+            if not resolved:
+                # May not bypass an unissued same-address store; retry.
+                self.ruu.requeue(entry, now + 1)
+                return False
+            if store is not None:
+                entry.issued = True
+                entry.issued_at = now
+                handle = _ForwardedHandle(entry.addr, entry.size, now)
+                entry.handle = handle
+                when = store.issued_at + 1
+                if when <= now:
+                    when = now + 1
+                self.ruu.resolve(entry, when)
+                return True
         entry.issued = True
         entry.issued_at = now
-        if store is not None:
-            handle = _ForwardedHandle(entry.addr, entry.size, now)
-            entry.handle = handle
-            self.ruu.resolve(entry, max(now + 1, store.issued_at + 1))
-            return True
         if entry.private:
             handle = self.mem.private_load_issue(now, entry.addr,
                                                  entry.size)
         else:
             handle = self.mem.load_issue(now, entry.addr, entry.size)
         entry.handle = handle
-        if handle.ready is not None:
-            self.ruu.resolve(entry, max(handle.ready, now + 1))
+        ready = handle.ready
+        if ready is not None:
+            when = now + 1
+            if ready > when:
+                when = ready
+            self.ruu.resolve(entry, when)
         else:
             self._pending_loads.append(entry)
         return True
@@ -253,6 +593,7 @@ class Pipeline:
         # writes the cache at commit.  It produces no register result.
         entry.issued = True
         entry.issued_at = now
+        self.lsq.note_store_issued()
         self.ruu.resolve(entry, now + 1)
 
     # ------------------------------------------------------------------
@@ -269,7 +610,7 @@ class Pipeline:
                 return
             self._fetch_ready = max(
                 self._fetch_ready,
-                resolve + self.config.misprediction_penalty,
+                resolve + self._mispredict_penalty,
             )
             self._redirect_after = None
         if self._trace_done or now < self._fetch_ready:
@@ -278,7 +619,7 @@ class Pipeline:
                 if self._tracer is not None:
                     self._trace_stall(now, "fetch")
             return
-        for _ in range(self.config.fetch_width):
+        for _ in range(self._fetch_width):
             dyn = self._peek_trace()
             if dyn is None:
                 return
@@ -350,22 +691,60 @@ class Pipeline:
         deliveries and armed BSHR wait deadlines) — and cycles before it
         are observationally idle everywhere and may be skipped once
         :meth:`note_skipped` replays their stall accounting.
+
+        Pending loads whose handle already carries a known-future ready
+        cycle (a BSHR/DCUB completion or a fault-recovery delivery
+        materialized by an earlier broadcast) are resolved *eagerly*
+        here, so they contribute their exact wake cycle instead of the
+        conservative ``now + 1``.  Eager resolution is identical to what
+        the next dense tick would do — ``resolve(entry, max(ready,
+        issued_at + 1))`` does not depend on the tick cycle — and it is
+        only legal when that wake cycle lies strictly past ``now + 1``:
+        a result due at ``now + 1`` must stay pending so the dense
+        commit-before-resolve stage order is preserved (commit may see
+        the result only one cycle after the resolving tick).
         """
         if self.done:
-            return float("inf")
+            return _INF
         nxt = now + 1
-        # A handle resolved during this cycle (by another node's
-        # broadcast or an earlier local stage) is collected next tick.
-        for entry in self._pending_loads:
-            if entry.handle.ready is not None:
+        pending = self._pending_loads
+        tick_next = False
+        if pending:
+            resolve = self.ruu.resolve
+            kept = 0
+            for entry in pending:
+                ready = entry.handle.ready
+                if ready is None:
+                    pending[kept] = entry
+                    kept += 1
+                    continue
+                when = entry.issued_at + 1
+                if ready > when:
+                    when = ready
+                if when <= nxt:
+                    # Due immediately: the next tick must collect it.
+                    pending[kept] = entry
+                    kept += 1
+                    tick_next = True
+                else:
+                    resolve(entry, when)
+            if kept != len(pending):
+                del pending[kept:]
+            if tick_next:
                 return nxt
-        bound = float("inf")
-        ready = self.ruu.next_ready_time()
+        bound = _INF
+        ruu = self.ruu
+        # Inlined RUU.next_ready_time:
+        heap = ruu._ready_heap
+        ready = heap[0][0] if heap else None
+        if ruu._stalled and (ready is None or ruu._stalled_retry < ready):
+            ready = ruu._stalled_retry
         if ready is not None:
             if ready <= nxt:
                 return nxt
             bound = ready
-        head = self.ruu.head()
+        window = ruu.window
+        head = window[0] if window else None
         if head is not None and head.issued \
                 and head.result_time is not None:
             when = head.result_time
@@ -384,13 +763,13 @@ class Pipeline:
             if nxt < self._fetch_ready:
                 if self._fetch_ready < bound:
                     bound = self._fetch_ready
-            elif not self.ruu.is_full():
+            elif len(window) < ruu.capacity:
                 dyn = self._peek_trace()
                 if dyn is not None and not (
                         dyn.op_class in (_LOAD, _STORE)
                         and self.lsq.is_full()):
                     return nxt  # fetch dispatches next cycle
-        if self._trace_done and not self.ruu.window:
+        if self._trace_done and not window:
             return nxt  # drain handshake must run every cycle
         return bound
 
@@ -436,8 +815,9 @@ class Pipeline:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int) -> PipelineStats:
         """Tick until done; returns the stats."""
+        tick = self.tick
         for cycle in range(max_cycles):
-            self.tick(cycle)
+            tick(cycle)
             if self.done:
                 return self.stats
         raise SimulationError(f"program did not finish in {max_cycles} cycles")

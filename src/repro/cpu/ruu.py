@@ -5,12 +5,23 @@ instruction dependencies" — a combined reorder buffer and issue window.
 Entries wake dependents when their result-ready cycle becomes known
 (at issue for fixed-latency operations; when the memory system resolves
 the handle for loads).
+
+Entry objects are recycled through a free list: :meth:`RUU.pop_head`
+returns the committed entry to the pool and :meth:`RUU.dispatch` reuses
+it for the next dispatched instruction.  This is safe because a
+committed entry can appear in no other structure — it was issued (so it
+sits in neither the ready heap nor the stalled bucket), resolved (so
+``dependents`` is ``None`` and it is not a pending load), and the
+``_last_writer`` slot that may still name it is dropped at pop time
+(a committed producer's result time is always in the past, so the
+mapping could never again affect a later consumer).
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush as _heappush
 
 from ..isa.opcodes import OpClass
 
@@ -32,8 +43,15 @@ class RUUEntry:
     )
 
     def __init__(self, dyn, now: int):
+        self._reset(dyn, now)
+
+    def _reset(self, dyn, now: int) -> None:
+        """(Re)initialize for ``dyn`` — shared by construction and
+        free-list reuse, so a recycled entry is indistinguishable from a
+        fresh one."""
+        op_class = dyn.op_class
         self.seq = dyn.seq
-        self.op_class = dyn.op_class
+        self.op_class = op_class
         self.dest = dyn.dest
         self.addr = dyn.addr
         self.size = dyn.size
@@ -45,9 +63,9 @@ class RUUEntry:
         self.issued_at = -1
         self.result_time = None
         self.handle = None
-        self.is_load = dyn.op_class == _LOAD
-        self.is_store = dyn.op_class == _STORE
-        self.private = getattr(dyn, "private", False)
+        self.is_load = op_class == _LOAD
+        self.is_store = op_class == _STORE
+        self.private = dyn.private
 
     @property
     def is_mem(self) -> bool:
@@ -76,6 +94,8 @@ class RUU:
         #: all share the same key, so a plain list beats heap traffic.
         self._stalled = []
         self._stalled_retry = -1
+        #: Committed entries awaiting reuse (see module docstring).
+        self._free = []
 
     def __len__(self) -> int:
         return len(self.window)
@@ -88,26 +108,56 @@ class RUU:
 
     def dispatch(self, dyn, now: int) -> RUUEntry:
         """Insert a traced instruction, wiring register dependencies."""
-        entry = RUUEntry(dyn, now)
+        free = self._free
+        if free:
+            # Inlined ``RUUEntry._reset`` (the steady-state path runs
+            # once per instruction): ``operand_time``/``unresolved`` are
+            # assigned below from the dependence scan.
+            entry = free.pop()
+            op_class = dyn.op_class
+            seq = dyn.seq
+            entry.seq = seq
+            entry.op_class = op_class
+            dest = entry.dest = dyn.dest
+            entry.addr = dyn.addr
+            entry.size = dyn.size
+            entry.dispatched_at = now
+            entry.dependents = None
+            entry.issued = False
+            entry.issued_at = -1
+            entry.result_time = None
+            entry.handle = None
+            entry.is_load = op_class == _LOAD
+            entry.is_store = op_class == _STORE
+            entry.private = dyn.private
+        else:
+            entry = RUUEntry(dyn, now)
+            seq = entry.seq
+            dest = entry.dest
+        last_writer = self._last_writer
+        unresolved = 0
+        operand_time = now
         for src in dyn.srcs:
-            producer = self._last_writer.get(src)
+            producer = last_writer.get(src)
             if producer is None:
                 continue
-            if producer.result_time is not None:
-                if producer.result_time > entry.operand_time:
-                    entry.operand_time = producer.result_time
+            result_time = producer.result_time
+            if result_time is not None:
+                if result_time > operand_time:
+                    operand_time = result_time
             else:
-                entry.unresolved += 1
+                unresolved += 1
                 if producer.dependents is None:
                     producer.dependents = [entry]
                 else:
                     producer.dependents.append(entry)
-        if dyn.dest is not None:
-            self._last_writer[dyn.dest] = entry
+        entry.operand_time = operand_time
+        entry.unresolved = unresolved
+        if dest is not None:
+            last_writer[dest] = entry
         self.window.append(entry)
-        if entry.unresolved == 0:
-            heapq.heappush(self._ready_heap,
-                           (entry.operand_time, entry.seq, entry))
+        if unresolved == 0:
+            _heappush(self._ready_heap, (operand_time, seq, entry))
         return entry
 
     def resolve(self, entry: RUUEntry, result_time: int) -> None:
@@ -116,13 +166,13 @@ class RUU:
         dependents = entry.dependents
         if not dependents:
             return
+        heap = self._ready_heap
         for dep in dependents:
             if result_time > dep.operand_time:
                 dep.operand_time = result_time
             dep.unresolved -= 1
             if dep.unresolved == 0 and not dep.issued:
-                heapq.heappush(self._ready_heap,
-                               (dep.operand_time, dep.seq, dep))
+                heapq.heappush(heap, (dep.operand_time, dep.seq, dep))
         entry.dependents = None
 
     def schedulable(self, now: int):
@@ -174,5 +224,22 @@ class RUU:
         return ready
 
     def pop_head(self) -> RUUEntry:
-        """Remove and return the oldest entry (it must be committable)."""
-        return self.window.popleft()
+        """Remove and return the oldest entry (it must be committable).
+
+        The entry is recycled onto the free list; its fields stay valid
+        until the next :meth:`dispatch` reuses it.  Dropping the
+        ``_last_writer`` mapping here is behavior-neutral: a committed
+        producer's ``result_time`` is at most the commit cycle, so it
+        can never raise a later consumer's operand time above the
+        dispatch default, and it can never again register a dependent.
+        """
+        entry = self.window.popleft()
+        dest = entry.dest
+        if dest is not None:
+            last_writer = self._last_writer
+            if last_writer.get(dest) is entry:
+                del last_writer[dest]
+        free = self._free
+        if len(free) < self.capacity:
+            free.append(entry)
+        return entry

@@ -35,6 +35,14 @@ class AccessResult:
     evicted: "int | None"
 
 
+# Shared immutable results for the allocation-heavy common outcomes
+# (plain hit, fill without eviction, write-around miss).  Consumers
+# only ever read the fields, so identity reuse is safe.
+_HIT = AccessResult(hit=True, filled=False, writeback=None, evicted=None)
+_FILL = AccessResult(hit=False, filled=True, writeback=None, evicted=None)
+_MISS = AccessResult(hit=False, filled=False, writeback=None, evicted=None)
+
+
 class CacheStats:
     """Running hit/miss/writeback counters."""
 
@@ -92,9 +100,12 @@ class Cache:
     def lookup(self, addr: int) -> bool:
         """True when the line containing ``addr`` is resident.  No state
         (not even LRU order) changes — safe for issue-time probes."""
-        line = self.line_addr(addr)
-        ways = self._sets[self._set_index(line)]
-        return any(entry[0] == line for entry in ways)
+        shift = self._line_shift
+        line = (addr >> shift) << shift
+        for entry in self._sets[(addr >> shift) & self._set_mask]:
+            if entry[0] == line:
+                return True
+        return False
 
     def resident_lines(self) -> "frozenset[int]":
         """Snapshot of every resident line address (correspondence checks)."""
@@ -176,50 +187,70 @@ class Cache:
 
         This is *the* canonical access the correspondence protocol keys
         off: identical call sequences leave identical cache states.
+
+        One scan of the set serves residency, LRU refresh, and
+        dirty-marking together (the split ``lookup``/``touch``/
+        ``mark_dirty``/``insert`` primitives each rescan; this is the
+        commit hot path).
         """
         stats = self.stats
-        hit = self.lookup(addr)
+        config = self.config
+        shift = self._line_shift
+        line = (addr >> shift) << shift
+        ways = self._sets[(addr >> shift) & self._set_mask]
+        entry = None
+        for position, candidate in enumerate(ways):
+            if candidate[0] == line:
+                entry = candidate
+                break
         writeback = None
         evicted = None
         filled = False
-        if is_write:
-            if hit:
+        if entry is not None:
+            ways.append(ways.pop(position))  # refresh LRU -> MRU
+            if is_write:
                 stats.write_hits += 1
-                self.touch(addr)
-                if self.config.write_policy == "writeback":
-                    self.mark_dirty(addr)
+                if config.write_policy == "writeback":
+                    entry[1] = True
                 else:
                     stats.writethroughs += 1
             else:
-                stats.write_misses += 1
-                if self.config.write_allocate:
-                    dirty = self.config.write_policy == "writeback"
-                    victim = self.insert(addr, dirty=dirty)
-                    filled = True
-                    if victim is not None:
-                        evicted = victim[0]
-                        if victim[1]:
-                            writeback = victim[0]
-                            stats.writebacks += 1
-                    if self.config.write_policy == "writethrough":
-                        stats.writethroughs += 1
-                else:
-                    # Write-noallocate miss: the write goes around the cache.
-                    stats.writethroughs += 1
-        else:
-            if hit:
                 stats.read_hits += 1
-                self.touch(addr)
-            else:
-                stats.read_misses += 1
-                victim = self.insert(addr, dirty=False)
+            return _HIT
+        if is_write:
+            stats.write_misses += 1
+            if config.write_allocate:
+                dirty = config.write_policy == "writeback"
+                victim = None
+                if len(ways) >= config.assoc:
+                    victim = ways.pop(0)
+                ways.append([line, dirty])
                 filled = True
                 if victim is not None:
                     evicted = victim[0]
                     if victim[1]:
                         writeback = victim[0]
                         stats.writebacks += 1
-        return AccessResult(hit=hit, filled=filled, writeback=writeback,
+                if config.write_policy == "writethrough":
+                    stats.writethroughs += 1
+            else:
+                # Write-noallocate miss: the write goes around the cache.
+                stats.writethroughs += 1
+        else:
+            stats.read_misses += 1
+            victim = None
+            if len(ways) >= config.assoc:
+                victim = ways.pop(0)
+            ways.append([line, False])
+            filled = True
+            if victim is not None:
+                evicted = victim[0]
+                if victim[1]:
+                    writeback = victim[0]
+                    stats.writebacks += 1
+        if evicted is None:
+            return _FILL if filled else _MISS
+        return AccessResult(hit=False, filled=filled, writeback=writeback,
                             evicted=evicted)
 
     # Convenience alias for trace-level studies.

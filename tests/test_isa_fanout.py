@@ -28,16 +28,16 @@ def test_interleaved_consumption_preserves_order():
     assert got_b == list(range(50))
 
 
-def test_buffer_trimmed_to_fastest_slowest_gap():
+def test_laggard_queue_tracks_fastest_slowest_gap():
     fanout = TraceFanout(iter(range(1000)), 2)
     a, b = fanout.views()
     for _ in range(10):
         next(a)
-    assert len(fanout._buffer) == 10
+    assert fanout.lags() == [0, 10]
     for _ in range(9):
         next(b)
-    # The laggard advanced: everything both views consumed is dropped.
-    assert len(fanout._buffer) == 1
+    # The laggard advanced: consumed records leave its queue.
+    assert fanout.lags() == [0, 1]
     assert fanout.high_water == 10
 
 

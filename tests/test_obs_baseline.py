@@ -7,8 +7,9 @@ import json
 
 import pytest
 
-from repro.obs.baseline import (DEFAULT_TOLERANCE, Check, compare, main,
-                                manifest_rate)
+from repro.obs.baseline import (DEFAULT_TOLERANCE, MIN_PHASE_SHARE, Check,
+                                compare, main, manifest_rate,
+                                manifest_timing_shares)
 
 MANIFEST = {
     "schema": "repro-run-manifest/1",
@@ -126,3 +127,86 @@ def test_cli_bad_input_is_exit_2(tmp_path, capsys):
     manifest = _write(tmp_path, "run.json", MANIFEST)
     assert main([manifest, "--against", missing]) == 2
     assert main([missing, "--against", manifest]) == 2
+
+
+# ----------------------------------------------------------------------
+# Timing-loop phase shares (the timing-profile CI job's gate).
+# ----------------------------------------------------------------------
+
+def _timed_manifest():
+    """A manifest whose executed points carry timing_phases rows."""
+    manifest = copy.deepcopy(MANIFEST)
+    manifest["points"][0]["timing_phases"] = {
+        "commit": 0.1, "issue": 0.5, "memory": 0.02, "<self>": 0.4}
+    manifest["points"][1]["timing_phases"] = {
+        "commit": 0.3, "issue": 1.1, "memory": 0.02, "<self>": 0.56}
+    # The deduped alias also carries phases; it must NOT be aggregated.
+    manifest["points"][2]["timing_phases"] = {"commit": 100.0}
+    return manifest
+
+
+def test_manifest_timing_shares_aggregates_executed_points():
+    shares = manifest_timing_shares(_timed_manifest())
+    # Totals over the two executed points: commit 0.4, issue 1.6,
+    # memory 0.04, <self> 0.96 — sum 3.0.
+    assert shares["commit"] == pytest.approx(0.4 / 3.0)
+    assert shares["issue"] == pytest.approx(1.6 / 3.0)
+    assert shares["<self>"] == pytest.approx(0.96 / 3.0)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_manifest_timing_shares_empty_without_phases():
+    assert manifest_timing_shares(MANIFEST) == {}
+
+
+def test_bench_timing_phases_gate_shares():
+    bench = {"optimized_seconds": 0.55, "limit": 16000,
+             "timing_phases": {"commit": 0.4, "issue": 1.6,
+                               "memory": 0.04, "<self>": 0.96}}
+    checks = compare(_timed_manifest(), bench, tolerance=2.0)
+    by_name = {check.name: check for check in checks}
+    # memory's baseline share (0.04/3 ~ 1.3%) is below MIN_PHASE_SHARE
+    # and must be skipped as clock-resolution noise.
+    assert 0.04 / 3.0 < MIN_PHASE_SHARE
+    assert "timing_phase_share[memory]" not in by_name
+    for phase in ("commit", "issue", "<self>"):
+        check = by_name[f"timing_phase_share[{phase}]"]
+        assert check.ok and check.ratio == pytest.approx(1.0)
+
+
+def test_bench_share_tolerance_is_separate_from_wall_tolerance():
+    bench = {"optimized_seconds": 0.55, "limit": 16000,
+             "timing_phases": {"commit": 0.4, "issue": 1.6, "<self>": 0.96}}
+    blowup = _timed_manifest()
+    for point in blowup["points"][:2]:
+        point["timing_phases"]["commit"] *= 100
+    # The wide cross-machine wall tolerance alone passes the blowup
+    # (share ratios are bounded by 1/base_share: 0.94/0.13 ~ 7x < 8x)...
+    loose = compare(blowup, bench, tolerance=8.0)
+    assert loose and all(check.ok for check in loose)
+    # ...the dedicated share tolerance must catch it while the wall
+    # check stays at 8x.
+    checks = compare(blowup, bench, tolerance=8.0, share_tolerance=2.0)
+    by_name = {check.name: check for check in checks}
+    assert by_name["seconds_per_instruction"].tolerance == 8.0
+    commit = by_name["timing_phase_share[commit]"]
+    assert commit.tolerance == 2.0
+    assert not commit.ok
+
+
+def test_cli_share_tolerance_flag(tmp_path, capsys):
+    bench = _write(tmp_path, "bench.json", {
+        "optimized_seconds": 0.55, "limit": 16000,
+        "timing_phases": {"commit": 0.4, "issue": 1.6, "<self>": 0.96}})
+    good = _write(tmp_path, "good.json", _timed_manifest())
+    assert main([good, "--against", bench,
+                 "--tolerance", "8", "--share-tolerance", "2"]) == 0
+    blowup = _timed_manifest()
+    for point in blowup["points"][:2]:
+        point["timing_phases"]["commit"] *= 100
+    bad = _write(tmp_path, "bad.json", blowup)
+    assert main([bad, "--against", bench,
+                 "--tolerance", "8", "--share-tolerance", "2"]) == 1
+    assert "timing_phase_share[commit]" in capsys.readouterr().out
+    assert main([good, "--against", bench,
+                 "--share-tolerance", "0"]) == 2

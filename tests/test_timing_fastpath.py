@@ -1,0 +1,452 @@
+"""The specialized timing loop: hot-path structures and skip bounds.
+
+The per-cycle fast path leans on three precomputed/in-place structures
+(the RUU free list, the LSQ unissued-store counter, the FU-class
+arbitration tables) and on :meth:`Pipeline.next_event` being an *exact*
+quiescence bound — the per-pipeline deep-skip scheduler
+(:meth:`DataScalarSystem._run_selective`) simply does not tick a
+pipeline before its own bound.  These tests pin each structure's
+contract directly, then drive randomized programs to check the bound
+against dense ticking, and finally pin the fault-recovery
+(retransmit-backoff) arrival arithmetic that the skip scheduler relies
+on being materialized eagerly.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.baseline.perfect import PerfectMemory
+from repro.core import DataScalarSystem
+from repro.cpu.func_units import FUPool
+from repro.cpu.lsq import LSQ
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.ruu import RUU
+from repro.experiments.config import datascalar_config
+from repro.faults.medium import FaultyMedium
+from repro.faults.plan import BroadcastFault
+from repro.interconnect.medium import make_medium
+from repro.isa import Interpreter, ProgramBuilder
+from repro.isa.opcodes import OpClass
+from repro.params import BusConfig, CPUConfig, FaultConfig
+from repro.workloads import build_program
+
+
+# ----------------------------------------------------------------------
+# Helpers: tiny dynamic instructions for driving RUU/LSQ directly.
+# ----------------------------------------------------------------------
+
+class _Dyn:
+    """Minimal stand-in for a traced dynamic instruction."""
+
+    def __init__(self, seq, op_class=OpClass.IALU, dest=None, srcs=(),
+                 addr=0, size=4, private=False):
+        self.seq = seq
+        self.op_class = int(op_class)
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.size = size
+        self.private = private
+
+
+# ----------------------------------------------------------------------
+# RUU free list.
+# ----------------------------------------------------------------------
+
+def test_ruu_free_list_recycles_committed_entries():
+    ruu = RUU(capacity=4)
+    first = ruu.dispatch(_Dyn(0, dest="r1"), now=0)
+    ruu.resolve(first, 1)
+    popped = ruu.pop_head()
+    assert popped is first
+    # The recycled object must be indistinguishable from a fresh one.
+    again = ruu.dispatch(_Dyn(7, op_class=OpClass.LOAD, dest="r2",
+                              addr=128), now=5)
+    assert again is first  # same object, recycled through the free list
+    assert again.seq == 7 and again.is_load and not again.is_store
+    assert again.dispatched_at == 5 and again.operand_time == 5
+    assert again.issued is False and again.issued_at == -1
+    assert again.result_time is None and again.dependents is None
+    assert again.handle is None and again.unresolved == 0
+
+
+def test_ruu_free_list_reuse_preserves_dependence_wiring():
+    ruu = RUU(capacity=4)
+    producer = ruu.dispatch(_Dyn(0, dest="r1"), now=0)
+    ruu.resolve(producer, 3)
+    assert ruu.pop_head() is producer
+    # Recycle the object as a new in-flight producer: the stale
+    # dependents/result_time from its first life must not leak into the
+    # wiring of its second.
+    fresh = ruu.dispatch(_Dyn(1, dest="r2"), now=4)
+    assert fresh is producer  # recycled through the free list
+    consumer = ruu.dispatch(_Dyn(2, dest="r3", srcs=("r2",)), now=4)
+    assert consumer.unresolved == 1
+    assert fresh.dependents == [consumer]
+    ruu.resolve(fresh, 9)
+    assert consumer.unresolved == 0
+    assert consumer.operand_time == 9
+
+
+def test_ruu_free_list_is_bounded_by_capacity():
+    ruu = RUU(capacity=2)
+    for seq in range(8):
+        ruu.dispatch(_Dyn(seq), now=seq)
+        ruu.resolve(ruu.head(), seq)
+        ruu.pop_head()
+    assert len(ruu._free) <= ruu.capacity
+
+
+# ----------------------------------------------------------------------
+# LSQ unissued-store counter.
+# ----------------------------------------------------------------------
+
+def test_lsq_unissued_store_counter_tracks_lifecycle():
+    ruu = RUU(capacity=1024)
+    lsq = LSQ(capacity=8)
+    store0 = _make_entry(ruu, 0, OpClass.STORE, addr=0)
+    load1 = _make_entry(ruu, 1, OpClass.LOAD, addr=64)
+    store2 = _make_entry(ruu, 2, OpClass.STORE, addr=8)
+    for entry in (store0, load1, store2):
+        lsq.insert(entry)
+    assert lsq._unissued_stores == 2
+    assert lsq.has_unissued_earlier_store(load1)
+
+    store0.issued = True
+    lsq.note_store_issued()
+    assert lsq._unissued_stores == 1
+    # The remaining unissued store (seq 2) is *younger* than the load,
+    # so the O(1) counter alone must not force a stall.
+    assert not lsq.has_unissued_earlier_store(load1)
+
+    store2.issued = True
+    lsq.note_store_issued()
+    assert lsq._unissued_stores == 0
+    # Steady state: the check short-circuits without scanning.
+    assert not lsq.has_unissued_earlier_store(load1)
+
+    lsq.release_head(store0)
+    lsq.release_head(load1)
+    lsq.release_head(store2)
+    assert len(lsq) == 0 and lsq._unissued_stores == 0
+
+
+def test_lsq_counter_matches_brute_force_scan_under_random_traffic():
+    rng = random.Random(42)
+    ruu = RUU(capacity=4096)
+    lsq = LSQ(capacity=16)
+    live = []
+    seq = 0
+    for _ in range(400):
+        action = rng.random()
+        if action < 0.45 and not lsq.is_full():
+            kind = OpClass.STORE if rng.random() < 0.5 else OpClass.LOAD
+            entry = _make_entry(ruu, seq, kind,
+                                addr=rng.randrange(0, 256, 4))
+            lsq.insert(entry)
+            live.append(entry)
+            seq += 1
+        elif action < 0.75:
+            unissued = [e for e in live if e.is_store and not e.issued]
+            if unissued:
+                choice = rng.choice(unissued)
+                choice.issued = True
+                lsq.note_store_issued()
+        elif live:
+            head = live.pop(0)
+            if head.is_store and not head.issued:
+                head.issued = True
+                lsq.note_store_issued()
+            lsq.release_head(head)
+        expected = sum(1 for e in live if e.is_store and not e.issued)
+        assert lsq._unissued_stores == expected
+        for probe in live:
+            if probe.is_load:
+                brute = any(e.is_store and not e.issued
+                            and e.seq < probe.seq for e in live)
+                assert lsq.has_unissued_earlier_store(probe) == brute
+
+
+def _make_entry(ruu, seq, op_class, addr):
+    return ruu.dispatch(_Dyn(seq, op_class=op_class, addr=addr), now=0)
+
+
+# ----------------------------------------------------------------------
+# FU arbitration tables.
+# ----------------------------------------------------------------------
+
+def test_fu_tables_mirror_config():
+    config = CPUConfig()
+    fus = FUPool(config)
+    for op_class in OpClass:
+        index = int(op_class)
+        assert fus.latency_table[index] == config.fu_latencies[
+            op_class.fu_name]
+        count = config.fu_counts.get(op_class.fu_name)
+        if count is not None:
+            assert fus.limit_table[index] == count
+        assert fus.latency(index) == fus.latency_table[index]
+
+
+def test_fu_try_claim_enforces_per_class_per_cycle_limits():
+    config = CPUConfig()
+    fus = FUPool(config)
+    limited = [int(c) for c in OpClass
+               if config.fu_counts.get(c.fu_name) is not None]
+    assert limited, "config under test must limit at least one FU class"
+    op_class = limited[0]
+    limit = fus.limit_table[op_class]
+    for _ in range(limit):
+        assert fus.try_claim(10, op_class)
+    assert not fus.try_claim(10, op_class)  # class slots exhausted
+    # Other classes are unaffected by this class's exhaustion.
+    other = next(i for i in range(len(fus.limit_table)) if i != op_class)
+    assert fus.try_claim(10, other)
+    # A new cycle resets every class's slot counter.
+    assert fus.try_claim(11, op_class)
+
+
+# ----------------------------------------------------------------------
+# next_event vs dense ticking (the deep-skip quiescence bound).
+# ----------------------------------------------------------------------
+
+_OPS = ["addi", "add", "mul", "lw", "sw"]
+
+
+def _random_program(rng):
+    builder = ProgramBuilder()
+    base = builder.alloc_global("buf", 256)
+    builder.li("r15", base)
+    for _ in range(rng.randrange(3, 40)):
+        op = rng.choice(_OPS)
+        reg = f"r{rng.randrange(1, 13)}"
+        if op == "addi":
+            builder.addi(reg, reg, 1)
+        elif op == "add":
+            builder.add(reg, reg, "r15")
+        elif op == "mul":
+            builder.mul(reg, reg, reg)
+        elif op == "lw":
+            builder.lw(reg, "r15", rng.randrange(0, 32) * 4)
+        else:
+            builder.sw(reg, "r15", rng.randrange(0, 32) * 4)
+    builder.halt()
+    return builder.build()
+
+
+def _random_cpu(rng):
+    return CPUConfig(
+        fetch_width=rng.choice([1, 2, 4]),
+        issue_width=rng.choice([1, 2, 4]),
+        commit_width=rng.choice([1, 2, 4]),
+        ruu_entries=rng.choice([8, 16, 32]),
+        lsq_entries=rng.choice([4, 8]),
+    )
+
+
+def _observable(pipeline):
+    """Everything ``next_event`` promises stays frozen before the bound:
+    commit-side counters, the window population, and issue activity
+    (entries only leave the window at commit, so the per-entry issued
+    flags are a faithful issue detector)."""
+    stats = pipeline.stats
+    return (
+        stats.committed, stats.loads, stats.stores, stats.branches,
+        stats.mispredicts,
+        len(pipeline.ruu.window),
+        sum(1 for entry in pipeline.ruu.window if entry.issued),
+    )
+
+
+def _drive_checking_bounds(pipeline, max_cycles=50_000):
+    """Dense-tick to completion, verifying after every tick that the
+    cycles strictly before ``next_event``'s bound are observationally
+    idle (exactly what the skip schedulers assume when they jump)."""
+    now = 0
+    while not pipeline.done:
+        assert now < max_cycles, "bounded program failed to finish"
+        pipeline.tick(now)
+        if pipeline.done:
+            return now + 1
+        bound = pipeline.next_event(now)
+        stop = min(bound, max_cycles)
+        if stop > now + 1:
+            frozen = _observable(pipeline)
+            for idle in range(now + 1, stop):
+                pipeline.tick(idle)
+                assert _observable(pipeline) == frozen, (
+                    f"activity at cycle {idle}, inside the idle span "
+                    f"promised by next_event({now}) == {bound}"
+                )
+                if pipeline.done:
+                    return idle + 1
+            now = stop
+        else:
+            now += 1
+    return now
+
+
+@pytest.mark.parametrize("seed_block", range(4))
+def test_next_event_bound_matches_dense_ticking(seed_block):
+    """200 random (program, machine-shape) pairs: dense ticking must be
+    observationally idle strictly before every ``next_event`` bound,
+    and interleaving ``next_event`` with dense ticking (what the
+    fast-forward scheduler does every cycle) must not change one final
+    number vs a pure dense run."""
+    for seed in range(seed_block * 50, seed_block * 50 + 50):
+        rng = random.Random(seed)
+        program = _random_program(rng)
+        cpu = _random_cpu(rng)
+
+        checked = Pipeline(cpu, PerfectMemory(),
+                           Interpreter(program).trace())
+        cycles = _drive_checking_bounds(checked)
+
+        dense = Pipeline(cpu, PerfectMemory(),
+                         Interpreter(program).trace())
+        now = 0
+        while not dense.done:
+            dense.tick(now)
+            now += 1
+        assert cycles == now, f"seed {seed}: cycle count diverged"
+        for slot in dense.stats.__slots__:
+            assert getattr(checked.stats, slot) == getattr(
+                dense.stats, slot), f"seed {seed}: stats.{slot} diverged"
+
+
+# ----------------------------------------------------------------------
+# Fault recovery (BSHR retransmit backoff) is eager and exact.
+# ----------------------------------------------------------------------
+
+class _ScriptedPlan:
+    """Deterministic replacement for the seeded FaultPlan."""
+
+    def __init__(self, faults, outcomes=()):
+        self._faults = list(faults)
+        self._outcomes = list(outcomes)
+
+    def for_broadcast(self, src):
+        if self._faults:
+            return self._faults.pop(0)
+        return BroadcastFault()
+
+    def retransmit_outcome(self):
+        if self._outcomes:
+            return self._outcomes.pop(0)
+        return (False, False)
+
+
+def _faulty_bus(config, num_nodes=2):
+    bus = BusConfig()
+    return FaultyMedium(make_medium("bus", bus, num_nodes), config,
+                        num_nodes, bus), bus
+
+
+def test_recovered_arrival_is_materialized_eagerly_and_exactly():
+    """A dropped delivery's repaired arrival must come back from
+    ``broadcast`` itself (absolute cycle, timeout + one request/data
+    round trip) — not as a deferred event the skip scheduler would have
+    to poll for."""
+    config = FaultConfig(seed=0, receiver_drop_prob=1.0)
+    medium, bus = _faulty_bus(config)
+    medium.plan = _ScriptedPlan([BroadcastFault(dropped=frozenset({1}))])
+
+    clean = make_medium("bus", BusConfig(), 2)
+    due = clean.broadcast(0, 0, 0x1000, 64)[1]
+
+    request = bus.interface_latency + bus.transfer_cycles(0)
+    data = bus.interface_latency + bus.transfer_cycles(64)
+    expected = due + config.bshr_timeout + request + data
+
+    arrivals = medium.broadcast(0, 0, 0x1000, 64)
+    assert arrivals[1] == expected
+    assert medium.recovery_stats.timeouts == 1
+    assert medium.recovery_stats.retransmits == 1
+    assert medium.recovery_stats.recovered == 1
+    # next_event mirrors the materialized arrival exactly — and is
+    # consumed once reached, never lingering as a stale skip bound.
+    assert medium.next_event(0) == expected
+    assert medium.next_event(expected) is None
+
+
+def test_retransmit_backoff_arithmetic_is_exact():
+    """Failed retransmit attempts pay timeout + exponential backoff;
+    the final arrival must land on exactly the closed-form cycle."""
+    config = FaultConfig(seed=0, receiver_drop_prob=1.0)
+    medium, bus = _faulty_bus(config)
+    medium.plan = _ScriptedPlan(
+        [BroadcastFault(dropped=frozenset({1}))],
+        outcomes=[(True, False), (True, False), (False, False)],
+    )
+
+    clean = make_medium("bus", BusConfig(), 2)
+    due = clean.broadcast(0, 0, 0x2000, 64)[1]
+    request = bus.interface_latency + bus.transfer_cycles(0)
+    data = bus.interface_latency + bus.transfer_cycles(64)
+
+    when = due + config.bshr_timeout
+    for attempt in range(2):  # two dropped attempts back off
+        arrived = when + request + data
+        when = (arrived + config.bshr_timeout
+                + config.retry_backoff * config.backoff_factor ** attempt)
+    expected = when + request + data
+
+    arrivals = medium.broadcast(0, 0, 0x2000, 64)
+    assert arrivals[1] == expected
+    assert medium.recovery_stats.retransmits == 3
+    assert medium.recovery_stats.recovered == 1
+    assert medium.recovery_stats.retry_high_water == 3
+    assert medium.next_event(0) == expected
+
+
+def test_nacked_corruption_skips_the_timeout():
+    """ECC failure is detected at arrival: the NACK leaves immediately,
+    so the repaired arrival must NOT be charged the sequence-gap bound."""
+    config = FaultConfig(seed=0, corrupt_prob=1.0)
+    medium, bus = _faulty_bus(config)
+    medium.plan = _ScriptedPlan([BroadcastFault(corrupted=frozenset({1}))])
+
+    clean = make_medium("bus", BusConfig(), 2)
+    due = clean.broadcast(0, 0, 0x3000, 64)[1]
+    request = bus.interface_latency + bus.transfer_cycles(0)
+    data = bus.interface_latency + bus.transfer_cycles(64)
+
+    arrivals = medium.broadcast(0, 0, 0x3000, 64)
+    assert arrivals[1] == due + request + data
+    assert medium.recovery_stats.nacks == 1
+    assert medium.recovery_stats.timeouts == 0
+
+
+def test_fault_recovery_is_invisible_to_idle_skip():
+    """Regression for the skip schedulers crossing recovery windows: a
+    loss-heavy run on the slowest bus (long idle stretches, so skipping
+    actually matters) must be bit-identical between fast-forward and
+    dense ticking, with real recoveries in play."""
+    from repro.experiments.config import timing_bus_config
+    from repro.isa.interpreter import Interpreter as _Interp
+
+    class _DenseSystem(DataScalarSystem):
+        def _make_trace(self, program, node_id, limit):
+            return _Interp(program).trace(limit=limit)
+
+    program = build_program("compress")
+    faults = FaultConfig(seed=11, receiver_drop_prob=3e-2, corrupt_prob=1e-2)
+    config = dataclasses.replace(
+        datascalar_config(
+            num_nodes=4,
+            bus=timing_bus_config(cycles_per_bus_cycle=16)),
+        faults=faults)
+    assert config.fast_forward
+
+    fast = DataScalarSystem(config).run(program, limit=1_500)
+    dense = _DenseSystem(
+        dataclasses.replace(config, fast_forward=False)).run(
+            program, limit=1_500)
+
+    assert fast.cycles == dense.cycles
+    assert fast.instructions == dense.instructions
+    assert fast.bus_transactions == dense.bus_transactions
+    assert fast.extra["faults"] == dense.extra["faults"]
+    assert fast.extra["faults"]["recovery"]["recovered"] > 0
