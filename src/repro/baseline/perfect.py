@@ -45,17 +45,66 @@ class PerfectSystem:
         self.cpu_config = cpu_config or CPUConfig()
         self.memory = PerfectMemory()
 
-    def run(self, program, max_cycles: int = 200_000_000,
-            limit=None) -> PipelineStats:
-        """Simulate ``program`` to completion; returns pipeline stats."""
+    def run(self, program, max_cycles: int = 200_000_000, limit=None,
+            checkpoint_every=None, checkpoint_sink=None,
+            resume_from=None, stop_after=None,
+            warmup=None) -> "PipelineStats | None":
+        """Simulate ``program`` to completion; returns pipeline stats.
+
+        The checkpoint arguments mirror
+        :meth:`repro.core.DataScalarSystem.run` (kind ``"perfect"``)."""
         from ..isa.interpreter import Interpreter
         from ..obs import spans
 
-        trace = Interpreter(program).trace(limit=limit)
-        recorder = spans.active()
-        if recorder is not None:
-            trace = spans.timed_iter(
-                trace, recorder.accumulator("frontend", under="timing-loop"))
-        pipeline = Pipeline(self.cpu_config, self.memory, trace)
+        checkpointing = (checkpoint_every is not None
+                         or checkpoint_sink is not None
+                         or resume_from is not None
+                         or stop_after is not None or warmup)
+        if not checkpointing:
+            trace = Interpreter(program).trace(limit=limit)
+            recorder = spans.active()
+            if recorder is not None:
+                trace = spans.timed_iter(
+                    trace,
+                    recorder.accumulator("frontend", under="timing-loop"))
+            pipeline = Pipeline(self.cpu_config, self.memory, trace)
+            with spans.span("timing-loop"):
+                return pipeline.run(max_cycles)
+
+        from ..checkpoint import state as ckpt_state
+        from ..errors import SimulationError
+        from ..isa.fanout import CountingTrace
+
+        if resume_from is not None:
+            ckpt = resume_from
+            if ckpt.kind != "perfect":
+                raise SimulationError(
+                    f"cannot resume a {ckpt.kind!r} checkpoint on a "
+                    f"perfect system")
+            state = ckpt_state.materialize(ckpt)
+            pipeline = state["pipeline"]
+            memory = state["memory"]
+            self.memory = memory
+            cycle = ckpt.cycle
+            trace = CountingTrace(Interpreter(program).trace(limit=limit))
+            with spans.span("frontend-replay"):
+                ckpt_state.advance_trace(trace, ckpt.consumed[0])
+            pipeline.rebind_trace(trace)
+        else:
+            trace = CountingTrace(Interpreter(program).trace(limit=limit))
+            if warmup:
+                with spans.span("warmup"):
+                    ckpt_state.advance_trace(trace, warmup)
+            pipeline = Pipeline(self.cpu_config, self.memory, trace)
+            memory = self.memory
+            cycle = 0
         with spans.span("timing-loop"):
-            return pipeline.run(max_cycles)
+            stop_requested, cycle = ckpt_state.drive_single_pipeline(
+                "perfect", pipeline, cycle, max_cycles,
+                checkpoint_every, checkpoint_sink, stop_after,
+                lambda: {"pipeline": pipeline, "memory": memory},
+                trace,
+                f"program did not finish in {max_cycles} cycles")
+        if stop_requested:
+            return None
+        return pipeline.stats

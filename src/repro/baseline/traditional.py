@@ -193,39 +193,93 @@ class TraditionalSystem:
         self.config = config or TraditionalConfig()
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
-            stack_bytes: int = 64 * 1024) -> TraditionalResult:
+            stack_bytes: int = 64 * 1024,
+            checkpoint_every=None, checkpoint_sink=None,
+            resume_from=None, stop_after=None,
+            warmup=None) -> "TraditionalResult | None":
+        """Simulate to completion.  The checkpoint arguments mirror
+        :meth:`repro.core.DataScalarSystem.run` (kind
+        ``"traditional"``)."""
         from ..obs import spans
 
         config = self.config
-        with spans.span("layout"):
-            page_table = traditional_page_table(
-                program,
-                denom=config.onchip_fraction_denom,
-                page_size=config.node.memory.page_size,
-                distribution_block_pages=config.distribution_block_pages,
-                replicate_text=config.replicate_text,
-                replicated_pages=replicated_pages,
-                stack_bytes=stack_bytes,
-            )
-        trace = Interpreter(program).trace(limit=limit)
-        recorder = spans.active()
-        if recorder is not None:
-            trace = spans.timed_iter(
-                trace, recorder.accumulator("frontend", under="timing-loop"))
-        with spans.span("setup"):
-            bus = Bus(config.bus)
-            memory = TraditionalMemory(config, page_table, bus)
-            pipeline = Pipeline(config.node.cpu, memory, trace,
-                                icache_line=config.node.icache.line_size)
-        cycle = 0
+        checkpointing = (checkpoint_every is not None
+                         or checkpoint_sink is not None
+                         or resume_from is not None
+                         or stop_after is not None or warmup)
+        if resume_from is not None:
+            from ..checkpoint import state as ckpt_state
+
+            ckpt = resume_from
+            if ckpt.kind != "traditional":
+                raise SimulationError(
+                    f"cannot resume a {ckpt.kind!r} checkpoint on a "
+                    f"traditional system")
+            state = ckpt_state.materialize(ckpt)
+            pipeline = state["pipeline"]
+            memory = state["memory"]
+            page_table = state["page_table"]
+            bus = memory.bus
+            cycle = ckpt.cycle
+            trace = self._make_trace(program, limit)
+            with spans.span("frontend-replay"):
+                ckpt_state.advance_trace(trace, ckpt.consumed[0])
+            pipeline.rebind_trace(trace)
+        else:
+            with spans.span("layout"):
+                page_table = traditional_page_table(
+                    program,
+                    denom=config.onchip_fraction_denom,
+                    page_size=config.node.memory.page_size,
+                    distribution_block_pages=config.distribution_block_pages,
+                    replicate_text=config.replicate_text,
+                    replicated_pages=replicated_pages,
+                    stack_bytes=stack_bytes,
+                )
+            if checkpointing:
+                from ..checkpoint import state as ckpt_state
+
+                trace = self._make_trace(program, limit)
+                if warmup:
+                    with spans.span("warmup"):
+                        ckpt_state.advance_trace(trace, warmup)
+            else:
+                trace = Interpreter(program).trace(limit=limit)
+                recorder = spans.active()
+                if recorder is not None:
+                    trace = spans.timed_iter(
+                        trace,
+                        recorder.accumulator("frontend",
+                                             under="timing-loop"))
+            with spans.span("setup"):
+                bus = Bus(config.bus)
+                memory = TraditionalMemory(config, page_table, bus)
+                pipeline = Pipeline(config.node.cpu, memory, trace,
+                                    icache_line=config.node.icache.line_size)
+            cycle = 0
+        stop_requested = False
         with spans.span("timing-loop"):
-            while not pipeline.done:
-                if cycle >= config.max_cycles:
-                    raise SimulationError(
-                        f"traditional run exceeded {config.max_cycles} cycles"
-                    )
-                pipeline.tick(cycle)
-                cycle += 1
+            if checkpointing:
+                from ..checkpoint.state import drive_single_pipeline
+
+                stop_requested, cycle = drive_single_pipeline(
+                    "traditional", pipeline, cycle, config.max_cycles,
+                    checkpoint_every, checkpoint_sink, stop_after,
+                    lambda: {"pipeline": pipeline, "memory": memory,
+                             "page_table": page_table},
+                    trace,
+                    f"traditional run exceeded {config.max_cycles} cycles")
+            else:
+                while not pipeline.done:
+                    if cycle >= config.max_cycles:
+                        raise SimulationError(
+                            f"traditional run exceeded {config.max_cycles} "
+                            f"cycles"
+                        )
+                    pipeline.tick(cycle)
+                    cycle += 1
+        if stop_requested:
+            return None
         memory.validate_final_state()
         return TraditionalResult(
             cycles=cycle,
@@ -238,3 +292,10 @@ class TraditionalSystem:
             bus_payload_bytes=bus.stats.payload_bytes,
             bus_utilization=bus.stats.utilization(cycle),
         )
+
+    @staticmethod
+    def _make_trace(program, limit):
+        """Counted front end for checkpoint-enabled runs."""
+        from ..isa.fanout import CountingTrace
+
+        return CountingTrace(Interpreter(program).trace(limit=limit))

@@ -160,7 +160,10 @@ class DataScalarSystem:
 
     def run(self, program, replicated_pages=frozenset(), limit=None,
             stack_bytes: int = 64 * 1024,
-            observer=None, tracer=None) -> DataScalarResult:
+            observer=None, tracer=None,
+            checkpoint_every=None, checkpoint_sink=None,
+            resume_from=None, stop_after=None,
+            warmup=None) -> "DataScalarResult | None":
         """Simulate ``program`` across all nodes to completion.
 
         ``replicated_pages`` are page numbers to replicate statically in
@@ -174,10 +177,44 @@ class DataScalarSystem:
         included (the tracer's own ``next_event`` bound is folded into
         :meth:`_advance` exactly like the fault layer's).
 
+        Checkpointing (:mod:`repro.checkpoint`):
+
+        * ``checkpoint_every=K`` captures a :class:`~repro.checkpoint.
+          Checkpoint` each time every node has committed another K
+          instructions and passes it to ``checkpoint_sink(ckpt)``;
+        * ``resume_from`` continues a captured checkpoint instead of
+          starting at cycle 0 (``program``/``limit``/config must match
+          the checkpointed run — the snapshot carries machine state, the
+          front end is rebuilt and replayed to its recorded position);
+        * ``stop_after=C`` ends the run once every node has committed C
+          instructions: the final state goes to ``checkpoint_sink`` and
+          ``run`` returns ``None`` (a partial run has no result);
+        * ``warmup=W`` skips the first W dynamic records functionally
+          before timing starts (SimPoint-style sampling; the timed
+          region starts with cold microarchitectural state, so results
+          are *not* comparable to a full run).
+
+        Checkpoint-enabled runs are bit-identical to plain runs but take
+        the iterator-protocol front-end path (and pay a per-round commit
+        scan), so the hot specialized loop is untouched when none of
+        these arguments is given.  Observers and tracers hold references
+        into live simulator objects and cannot be checkpointed.
+
         With ``config.result_communication`` set, private regions are
         auto-detected and the run delegates to
         :class:`~repro.core.resultcomm_exec.ResultCommSystem`.
         """
+        if (checkpoint_every is not None or checkpoint_sink is not None
+                or resume_from is not None or stop_after is not None
+                or warmup):
+            if observer is not None or tracer is not None:
+                raise SimulationError(
+                    "checkpointing is incompatible with observer/tracer "
+                    "hooks — they hold references into live run state")
+            return self._run_checkpointed(
+                program, replicated_pages, limit, stack_bytes,
+                checkpoint_every, checkpoint_sink, resume_from,
+                stop_after, warmup)
         from .node import DataScalarNode  # local import to avoid cycles
 
         config = self.config
@@ -343,6 +380,300 @@ class DataScalarSystem:
                     else:
                         cycle += 1
 
+        with spans.span("analysis"):
+            return self._collect(cycle, pipelines, nodes, medium,
+                                 page_table, layout_summary)
+
+    def _run_checkpointed(self, program, replicated_pages, limit,
+                          stack_bytes, checkpoint_every, checkpoint_sink,
+                          resume_from, stop_after, warmup):
+        """The checkpoint-enabled twin of :meth:`run`.
+
+        Same simulation, same results, two extra abilities: start from a
+        :class:`~repro.checkpoint.Checkpoint` instead of cycle 0, and
+        capture checkpoints at committed-instruction boundaries.  Kept
+        separate so the plain path's specialized loops (queue-fast-path
+        fetch, no per-round commit scans) stay byte-for-byte untouched.
+
+        Capture happens after every tick of a cycle ``c`` and records
+        ``cycle = c + 1`` — the next cycle to simulate.  On the
+        selective (per-pipeline idle-skip) path, pipelines that were not
+        ticked at ``c`` have their deferred stall accounting flushed
+        first, so the snapshot is position-complete; the flush splits a
+        ``note_skipped`` range in two, which is exact because a skipped
+        pipeline's fetch state is frozen between real ticks (every
+        skipped cycle classifies identically no matter when it is
+        replayed).
+        """
+        from .node import DataScalarNode  # local import to avoid cycles
+
+        from ..checkpoint import state as ckpt_state
+        from ..isa.fanout import CountingTrace
+
+        config = self.config
+        if config.result_communication:
+            raise SimulationError(
+                "checkpointing does not support result-communication runs")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise SimulationError("checkpoint_every must be >= 1")
+            if checkpoint_sink is None:
+                raise SimulationError(
+                    "checkpoint_every requires a checkpoint_sink")
+        num = config.num_nodes
+        faulted = config.faults is not None
+
+        nodes = []
+        wake = [0] * num
+
+        # Same delivery hook as the plain path; defined up front so both
+        # the fresh-build and restore paths close over the *final*
+        # ``nodes``/``wake`` bindings (closures read the enclosing
+        # locals at call time).
+        def deliver(src: int, line: int, arrivals) -> None:
+            for node in nodes:
+                arrival = arrivals[node.node_id]
+                if arrival is not None:
+                    node.bshr.arrival(arrival, line)
+                    wake[node.node_id] = 0
+
+        if resume_from is not None:
+            ckpt = resume_from
+            if ckpt.kind != "datascalar":
+                raise SimulationError(
+                    f"cannot resume a {ckpt.kind!r} checkpoint on a "
+                    f"DataScalar system")
+            state = ckpt_state.materialize(ckpt)
+            pipelines = state["pipelines"]
+            nodes = state["nodes"]
+            medium = state["medium"]
+            page_table = state["page_table"]
+            layout_summary = state["layout_summary"]
+            wake = state["wake"]
+            last_tick = state["last_tick"]
+            cycle = ckpt.cycle
+            # Rebuild the functional front end exactly as a fresh run
+            # would (same engine, same fan-out) and replay it to the
+            # recorded per-node positions; this also reconstructs the
+            # fan-out tee queues record for record.
+            traces = [CountingTrace(t)
+                      for t in self._make_traces(program, limit)]
+            with spans.span("frontend-replay"):
+                for trace, count in zip(traces, ckpt.consumed):
+                    ckpt_state.advance_trace(trace, count)
+            for pipeline, trace in zip(pipelines, traces):
+                pipeline.rebind_trace(trace)
+            for node in nodes:
+                node.broadcaster.rebind_deliver(deliver)
+        else:
+            spec = LayoutSpec(
+                num_nodes=num,
+                page_size=config.node.memory.page_size,
+                distribution_block_pages=config.distribution_block_pages,
+                replicate_text=config.replicate_text,
+                replicated_pages=frozenset(replicated_pages),
+                stack_bytes=stack_bytes,
+            )
+            with spans.span("layout"):
+                page_table, layout_summary = build_page_table(program, spec)
+            medium = self._make_medium()
+            traces = [CountingTrace(t)
+                      for t in self._make_traces(program, limit)]
+            if warmup:
+                with spans.span("warmup"):
+                    for trace in traces:
+                        ckpt_state.advance_trace(trace, warmup)
+            pipelines = []
+            with spans.span("setup"):
+                for node_id in range(num):
+                    if config.l2 is not None:
+                        from .node_l2 import DataScalarL2Node
+
+                        node = DataScalarL2Node(
+                            node_id, config.node, config.l2, page_table,
+                            medium, deliver, num_peers=num - 1)
+                    else:
+                        node = DataScalarNode(
+                            node_id, config.node, page_table, medium,
+                            deliver, num_peers=num - 1)
+                    nodes.append(node)
+                    pipelines.append(
+                        Pipeline(config.node.cpu, node, traces[node_id],
+                                 icache_line=config.node.icache.line_size))
+            cycle = 0
+            last_tick = [0] * num
+            if faulted:
+                for node in nodes:
+                    node.bshr.arm_timeout(config.faults.wait_deadline)
+
+        extra_event = None
+        if faulted:
+            extra_event = self._fault_event_fn(nodes, medium)
+
+        recorder = spans.active()
+        fault_acc = None
+        if faulted and recorder is not None:
+            fault_acc = recorder.accumulator("fault-recovery",
+                                             under="timing-loop")
+        stage_accs = None
+        if recorder is not None:
+            stage_accs = (
+                recorder.accumulator("commit", under="timing-loop"),
+                recorder.accumulator("memory", under="timing-loop"),
+                recorder.accumulator("issue", under="timing-loop"),
+            )
+            for pipeline in pipelines:
+                pipeline.attach_stage_accumulators(stage_accs)
+        ticks = [p.tick_spanned if stage_accs is not None else p.tick
+                 for p in pipelines]
+
+        next_boundary = None
+        if checkpoint_every is not None:
+            start_committed = min(p.stats.committed for p in pipelines)
+            next_boundary = ((start_committed // checkpoint_every + 1)
+                             * checkpoint_every)
+
+        def take_checkpoint(cycle_pos: int, boundary: int):
+            tree = {
+                "pipelines": pipelines, "nodes": nodes, "medium": medium,
+                "page_table": page_table, "layout_summary": layout_summary,
+                "wake": list(wake), "last_tick": list(last_tick),
+            }
+            return ckpt_state.capture(
+                "datascalar", cycle_pos,
+                min(p.stats.committed for p in pipelines), tree,
+                cut=ckpt_state.datascalar_cut_edges(pipelines, nodes),
+                consumed=[t.consumed for t in traces],
+                meta={"boundary": boundary})
+
+        def emit_checkpoints(cycle_pos: int, min_committed: int) -> bool:
+            """Deliver every boundary the run just crossed (wide commit
+            rounds can cross several at once — each nominal boundary
+            gets its own capture so warm-start lookups by boundary
+            always land); True = ``stop_after`` reached."""
+            nonlocal next_boundary
+            while next_boundary is not None and min_committed >= next_boundary:
+                checkpoint_sink(take_checkpoint(cycle_pos, next_boundary))
+                next_boundary += checkpoint_every
+            if stop_after is not None and min_committed >= stop_after:
+                checkpoint_sink(take_checkpoint(cycle_pos, stop_after))
+                return True
+            return False
+
+        watching = next_boundary is not None or stop_after is not None
+        max_cycles = config.max_cycles
+        stop_requested = False
+        with spans.span("timing-loop"):
+            if config.fast_forward and not faulted:
+                # The selective per-pipeline idle-skip loop
+                # (:meth:`_run_selective`) with a boundary check per
+                # round.
+                running = sum(1 for p in pipelines if not p.done)
+                while running:
+                    if cycle >= max_cycles:
+                        raise SimulationError(
+                            f"DataScalar run exceeded {max_cycles} cycles"
+                        )
+                    for i in range(num):
+                        pipeline = pipelines[i]
+                        if pipeline.done or wake[i] > cycle:
+                            continue
+                        start = last_tick[i]
+                        if start < cycle:
+                            pipeline.note_skipped(start, cycle)
+                        ticks[i](cycle)
+                        last_tick[i] = cycle + 1
+                        if pipeline.done:
+                            running -= 1
+                        else:
+                            wake[i] = pipeline.next_event(cycle)
+                    if watching:
+                        min_committed = min(p.stats.committed
+                                            for p in pipelines)
+                        crossed = (
+                            (next_boundary is not None
+                             and min_committed >= next_boundary)
+                            or (stop_after is not None
+                                and min_committed >= stop_after))
+                        if crossed:
+                            # Flush deferred stall accounting for the
+                            # pipelines that were not ticked this round
+                            # so the snapshot's position is complete.
+                            for i in range(num):
+                                pipeline = pipelines[i]
+                                if not pipeline.done \
+                                        and last_tick[i] <= cycle:
+                                    pipeline.note_skipped(last_tick[i],
+                                                          cycle + 1)
+                                    last_tick[i] = cycle + 1
+                            if emit_checkpoints(cycle + 1, min_committed):
+                                stop_requested = True
+                                break
+                    if not running:
+                        # Match the dense loop's exit value (one advance
+                        # past the finishing tick).
+                        cycle += 1
+                        break
+                    nxt = cycle + 1
+                    target = _INF
+                    for i in range(num):
+                        if pipelines[i].done:
+                            continue
+                        event = wake[i]
+                        if event <= nxt:
+                            target = nxt
+                            break
+                        if event < target:
+                            target = event
+                    if target == _INF:
+                        target = min(p._last_commit_cycle
+                                     + DEADLOCK_CYCLES + 1
+                                     for p in pipelines if not p.done)
+                        for i in range(num):
+                            if not pipelines[i].done and wake[i] > target:
+                                wake[i] = target
+                    if target > max_cycles:
+                        target = max_cycles
+                    if target < nxt:
+                        target = nxt
+                    cycle = int(target)
+            else:
+                # The dense / fault-mode loop.  ``_advance`` replays
+                # stall accounting eagerly at jump time, so positions
+                # are always complete after a tick round — no flush
+                # needed before capture.
+                while not all(p.done for p in pipelines):
+                    if cycle >= max_cycles:
+                        raise SimulationError(
+                            f"DataScalar run exceeded {max_cycles} cycles"
+                        )
+                    if faulted:
+                        if fault_acc is not None:
+                            tick0 = time.perf_counter()
+                            for node in nodes:
+                                node.bshr.check_timeouts(cycle)
+                            fault_acc.add(time.perf_counter() - tick0)
+                        else:
+                            for node in nodes:
+                                node.bshr.check_timeouts(cycle)
+                    for tick in ticks:
+                        tick(cycle)
+                    if watching:
+                        for i in range(num):
+                            last_tick[i] = cycle + 1
+                        min_committed = min(p.stats.committed
+                                            for p in pipelines)
+                        if emit_checkpoints(cycle + 1, min_committed):
+                            stop_requested = True
+                            break
+                    if config.fast_forward:
+                        cycle = self._advance(cycle, pipelines, config,
+                                              extra_event)
+                    else:
+                        cycle += 1
+
+        if stop_requested:
+            return None
         with spans.span("analysis"):
             return self._collect(cycle, pipelines, nodes, medium,
                                  page_table, layout_summary)

@@ -1,0 +1,167 @@
+"""The ``sharded-run`` experiment: one long DataScalar run, all the
+cores.
+
+Drives :class:`repro.runner.ShardedRun` on a single workload — the CLI
+surface for the checkpoint/restore machinery (``--shards``,
+``--checkpoint-every``, ``--warmup``; see ``docs/simulator.md``,
+"Checkpoint, warm-up, and sharding"):
+
+* ``--shards N`` splits the run into N checkpoint-delimited segments.
+  The first (cold) run executes serially while populating the
+  checkpoint cache; every rerun resumes the shards in parallel across
+  the sweep process pool and stitches a result bit-identical to the
+  straight-through run.
+* ``--checkpoint-every K`` (without sharding) emits a checkpoint into
+  the cache at every K committed instructions — warm-start
+  population for later SimPoint-style sampling runs.
+* ``--warmup W`` skips the first W instructions in the fast functional
+  front end before detailed timing starts.  This is the one mode that
+  is deliberately *not* bit-identical to a full run: the caches and
+  predictors start cold at instruction W.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..params import SystemConfig
+from ..runner import ResultCache, default_cache_dir, get_default_runner
+from ..runner.digest import checkpoint_digest
+from ..runner.point import SweepPoint
+from ..runner.sharded import ShardedRun
+
+DEFAULT_LIMIT = 50_000
+DEFAULT_SHARDS = 4
+
+
+@dataclass
+class ShardedRunResult:
+    """What one ``sharded-run`` invocation measured."""
+
+    workload: str
+    limit: int
+    shards: int
+    mode: str  # "sharded" | "checkpoint" | "warmup"
+    warm: bool
+    cycles: int
+    instructions: int
+    wall_seconds: float
+    boundaries: "list[int]" = field(default_factory=list)
+    checkpoints_saved: int = 0
+    warmup: int = 0
+
+
+def run_sharded(workload: str = "compress", limit: "int | None" = None,
+                shards: "int | None" = None,
+                checkpoint_every: "int | None" = None,
+                warmup: "int | None" = None,
+                engine: "str | None" = None,
+                config: "SystemConfig | None" = None,
+                cache: "ResultCache | None" = None) -> ShardedRunResult:
+    """Run ``workload`` once under the requested checkpoint mode.
+
+    Jobs, metrics registry, and (when available) the result cache come
+    from the ambient default :class:`~repro.runner.SweepRunner`, so
+    ``runner.checkpoint.*`` counters land in the same registry the CLI
+    summarizes and ``--report-out`` snapshots.
+    """
+    limit = limit or DEFAULT_LIMIT
+    if config is None:
+        config = SystemConfig()
+    if engine:
+        import dataclasses
+
+        config = dataclasses.replace(config, engine=engine)
+    runner = get_default_runner()
+    if cache is None:
+        cache = runner.cache if runner.cache is not None \
+            else ResultCache(default_cache_dir())
+
+    if warmup:
+        return _run_warmup(workload, limit, warmup, config)
+    if checkpoint_every and not shards:
+        return _run_checkpoint_population(workload, limit, checkpoint_every,
+                                          config, cache)
+
+    sharded = ShardedRun(shards or DEFAULT_SHARDS, cache=cache,
+                         jobs=runner.jobs, registry=runner.registry)
+    tick = time.perf_counter()
+    result = sharded.run(workload, limit=limit, config=config)
+    wall = time.perf_counter() - tick
+    return ShardedRunResult(
+        workload=workload, limit=limit, shards=sharded.shards,
+        mode="sharded", warm=sharded.last_warm,
+        cycles=result.cycles, instructions=result.instructions,
+        wall_seconds=wall, boundaries=list(sharded.last_boundaries),
+        checkpoints_saved=(0 if sharded.last_warm
+                           else len(sharded.last_boundaries)),
+    )
+
+
+def _run_warmup(workload, limit, warmup, config) -> ShardedRunResult:
+    from ..core.system import DataScalarSystem
+    from ..workloads import build_program
+
+    program = build_program(workload, 1)
+    tick = time.perf_counter()
+    result = DataScalarSystem(config).run(program, limit=limit,
+                                          warmup=warmup)
+    wall = time.perf_counter() - tick
+    return ShardedRunResult(
+        workload=workload, limit=limit, shards=1, mode="warmup",
+        warm=False, cycles=result.cycles,
+        instructions=result.instructions, wall_seconds=wall,
+        warmup=warmup,
+    )
+
+
+def _run_checkpoint_population(workload, limit, every, config,
+                               cache) -> ShardedRunResult:
+    from ..core.system import DataScalarSystem
+    from ..workloads import build_program
+
+    point = SweepPoint.make("datascalar", workload, limit=limit,
+                            config=config)
+    saved = []
+
+    def sink(ckpt) -> None:
+        digest = checkpoint_digest(point, ckpt.meta["boundary"],
+                                   cache.code_version)
+        if cache.store(point, ckpt, digest=digest):
+            saved.append(ckpt.meta["boundary"])
+
+    program = build_program(workload, 1)
+    tick = time.perf_counter()
+    result = DataScalarSystem(config).run(program, limit=limit,
+                                          checkpoint_every=every,
+                                          checkpoint_sink=sink)
+    wall = time.perf_counter() - tick
+    return ShardedRunResult(
+        workload=workload, limit=limit, shards=1, mode="checkpoint",
+        warm=False, cycles=result.cycles,
+        instructions=result.instructions, wall_seconds=wall,
+        boundaries=saved, checkpoints_saved=len(saved),
+    )
+
+
+def format_sharded(result: ShardedRunResult) -> str:
+    lines = [f"sharded-run: {result.workload} "
+             f"(limit={result.limit}, mode={result.mode})"]
+    if result.mode == "sharded":
+        state = "warm (shards resumed cached checkpoints in parallel)" \
+            if result.warm else "cold (serial run populated the cache)"
+        lines.append(f"  shards={result.shards} {state}")
+        if result.boundaries:
+            lines.append(f"  boundaries={result.boundaries}")
+    elif result.mode == "checkpoint":
+        lines.append(f"  checkpoints saved at {result.boundaries}")
+    else:
+        lines.append(f"  warmup={result.warmup} functionally-skipped "
+                     f"instructions (timing starts cold at that point; "
+                     f"not comparable to a full run)")
+    ipc = result.instructions / result.cycles if result.cycles else 0.0
+    lines.append(f"  cycles={result.cycles} "
+                 f"instructions={result.instructions} ipc={ipc:.3f}")
+    lines.append(f"  wall={result.wall_seconds:.2f}s")
+    return "\n".join(lines)

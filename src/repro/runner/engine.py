@@ -272,6 +272,9 @@ class SweepRunner:
                 errors = registry.counter("runner.cache.store_errors")
                 if self.cache.store_errors > errors.value:
                     errors.inc(self.cache.store_errors - errors.value)
+                evictions = registry.counter("runner.cache.evictions")
+                if self.cache.evictions > evictions.value:
+                    evictions.inc(self.cache.evictions - evictions.value)
         return results
 
     def _collect_telemetry(self, points, digests, pending, cached_indices,
@@ -414,7 +417,9 @@ class SweepRunner:
             done_positions += len(slots)
             if slowest is None or seconds > slowest[1]:
                 slowest = (point.label or point.kind, seconds)
-            progress.update(done_positions, cached, 0, slowest)
+            progress.update(done_positions, cached, 0, slowest,
+                            executed=len(executed),
+                            remaining=len(pending) - len(executed))
         return executed
 
     def _run_parallel(self, points, pending, start, payloads,
@@ -494,7 +499,9 @@ class SweepRunner:
                 reader.poll()  # advance offsets; display only
             done_positions = cached + sum(
                 len(pending[digest]) for digest in executed)
-            progress.update(done_positions, cached, len(futures), slowest)
+            progress.update(done_positions, cached, len(futures), slowest,
+                            executed=len(executed),
+                            remaining=len(pending) - len(executed))
 
         def handle_failure(digest: str, exc: BaseException,
                            now: float) -> None:

@@ -1,0 +1,191 @@
+"""Intra-run sharding: one long simulation across all the cores.
+
+A sweep keeps every core busy only while it has more points than the
+pool has workers; a single long-horizon run serializes on one core no
+matter how many are idle.  :class:`ShardedRun` splits such a run at
+committed-instruction boundaries using :mod:`repro.checkpoint`:
+
+* **Cold** (first run of a point): checkpoints for the shard boundaries
+  do not exist yet, and shard ``i+1`` cannot start before shard ``i``
+  has produced its end state — so the run executes serially once,
+  emitting a checkpoint at every boundary into the content-addressed
+  :class:`~repro.runner.cache.ResultCache`
+  (:func:`~repro.runner.digest.checkpoint_digest`: program + config +
+  boundary + code/codegen/checkpoint-format stamps), and returns its
+  result directly.
+* **Warm** (every rerun): all interior start checkpoints hit the cache,
+  so the shards resume *in parallel* across the existing
+  :class:`~repro.runner.SweepRunner` process pool.  The final shard
+  runs from the last boundary to completion and its
+  result — cumulative state carried through the checkpoint — IS the
+  run's result, bit-identical to a straight-through run by
+  construction.  Every interior shard re-derives its end state and the
+  stitcher verifies it against the cached next checkpoint's
+  deterministic :meth:`~repro.checkpoint.Checkpoint.summary`, so a
+  stale or foreign cache entry fails loudly instead of producing a
+  silently wrong figure.
+
+The same cache serves SimPoint-style warm starts: a rerun that only
+wants the detailed region resumes the nearest cached boundary and pays
+only the remainder (``DataScalarSystem.run(resume_from=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RunnerError
+from ..obs import spans
+from ..obs.metrics import MetricsRegistry
+from .cache import ResultCache, default_cache_dir
+from .digest import checkpoint_digest
+from .point import SweepPoint
+
+
+@dataclass
+class ShardEnd:
+    """What an interior shard returns: its end-of-shard position and
+    the deterministic summary the stitcher checks against the cached
+    checkpoint at the same boundary."""
+
+    boundary: int
+    cycle: int
+    committed: int
+    summary: tuple
+
+
+class ShardedRun:
+    """Run one DataScalar point as ``shards`` checkpoint-delimited
+    segments over the sweep process pool (see the module docstring for
+    the cold/warm protocol)."""
+
+    def __init__(self, shards: int, cache: "ResultCache | None" = None,
+                 jobs: "int | None" = None,
+                 registry: "MetricsRegistry | None" = None,
+                 progress: bool = False):
+        if shards < 1:
+            raise RunnerError("ShardedRun needs at least one shard")
+        self.shards = shards
+        self.cache = cache if cache is not None \
+            else ResultCache(default_cache_dir())
+        self.jobs = jobs
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.progress = progress
+        #: Set by :meth:`run`: whether the last run resumed cached
+        #: checkpoints (warm) or populated them (cold).
+        self.last_warm = False
+        self.last_boundaries: "list[int]" = []
+
+    def run(self, workload: str, *, scale: int = 1, limit: int,
+            config, label: str = "") -> object:
+        """Execute the point and return its
+        :class:`~repro.core.system.DataScalarResult` — bit-identical
+        whether this run went cold (serial) or warm (parallel shards).
+
+        ``limit`` is mandatory: shard boundaries are committed-
+        instruction counts, so the horizon must be known up front.  A
+        ``limit`` longer than the program still works but leaves the
+        tail boundaries unreachable — every run stays cold (correct,
+        just unsharded)."""
+        if limit is None or limit < 1:
+            raise RunnerError("sharded runs need an explicit limit >= 1")
+        base = SweepPoint.make("datascalar", workload, scale=scale,
+                               limit=limit, config=config, label=label)
+        every = -(-limit // self.shards)  # ceil: last shard is smallest
+        boundaries = [n * every for n in range(1, self.shards)
+                      if n * every < limit]
+        self.last_boundaries = boundaries
+        digests = {
+            boundary: checkpoint_digest(base, boundary,
+                                        self.cache.code_version)
+            for boundary in boundaries
+        }
+        counters = self.registry
+        counters.counter("runner.checkpoint.shards").inc(
+            len(boundaries) + 1)
+
+        starts = []
+        warm = bool(boundaries)
+        for boundary in boundaries:
+            hit, ckpt = self.cache.load(base, digest=digests[boundary])
+            if not hit:
+                warm = False
+                counters.counter("runner.checkpoint.misses").inc(
+                    len(boundaries) - len(starts))
+                break
+            starts.append(ckpt)
+        if warm:
+            counters.counter("runner.checkpoint.hits").inc(len(starts))
+            return self._run_warm(base, boundaries, digests, starts)
+        return self._run_cold(base, boundaries, digests)
+
+    # ------------------------------------------------------------------
+    # Cold: one serial run populates the checkpoint cache.
+    # ------------------------------------------------------------------
+    def _run_cold(self, base: SweepPoint, boundaries, digests) -> object:
+        from ..core.system import DataScalarSystem
+        from ..workloads import build_program
+
+        wanted = dict(digests)
+        saves = 0
+
+        def sink(ckpt) -> None:
+            nonlocal saves
+            digest = wanted.get(ckpt.meta["boundary"])
+            if digest is not None \
+                    and self.cache.store(base, ckpt, digest=digest):
+                saves += 1
+
+        system = DataScalarSystem(base.config)
+        program = build_program(base.workload, base.scale)
+        with spans.span("sharded-cold"):
+            if boundaries:
+                every = boundaries[0]
+                result = system.run(program, limit=base.limit,
+                                    checkpoint_every=every,
+                                    checkpoint_sink=sink)
+            else:
+                result = system.run(program, limit=base.limit)
+        self.registry.counter("runner.checkpoint.saves").inc(saves)
+        self.last_warm = False
+        return result
+
+    # ------------------------------------------------------------------
+    # Warm: every shard resumes a cached checkpoint, in parallel.
+    # ------------------------------------------------------------------
+    def _run_warm(self, base: SweepPoint, boundaries, digests,
+                  starts) -> object:
+        from .engine import SweepRunner
+
+        points = []
+        num_shards = len(boundaries) + 1
+        for shard in range(num_shards):
+            start = boundaries[shard - 1] if shard else 0
+            stop = boundaries[shard] if shard < len(boundaries) else None
+            points.append(SweepPoint.make(
+                "datascalar-shard", base.workload, scale=base.scale,
+                limit=base.limit, config=base.config,
+                label=f"{base.label or base.workload}#shard{shard}",
+                shard=shard, start=start, stop=stop,
+                start_digest=digests[start] if shard else None,
+                cache_root=str(self.cache.root),
+                cache_code_version=self.cache.code_version,
+            ))
+        jobs = self.jobs if self.jobs is not None else num_shards
+        runner = SweepRunner(jobs=min(jobs, num_shards), cache=None,
+                             registry=self.registry,
+                             progress=self.progress)
+        with spans.span("sharded-warm"):
+            results = runner.run(points)
+        for shard, end in enumerate(results[:-1]):
+            expected = starts[shard].summary()
+            if not isinstance(end, ShardEnd) \
+                    or end.summary != expected:
+                raise RunnerError(
+                    f"shard {shard} of {base.workload} ended in a state "
+                    f"that does not match the cached checkpoint at "
+                    f"boundary {boundaries[shard]} — stale or foreign "
+                    f"cache entry; clear it and rerun cold")
+        self.last_warm = True
+        return results[-1]

@@ -310,15 +310,29 @@ class ProgressLine:
         self._last_width = 0
 
     def render(self, done: int, cached: int, running: int,
-               slowest: "tuple[str, float] | None" = None) -> str:
-        """The status text (pure; exercised directly by tests)."""
+               slowest: "tuple[str, float] | None" = None,
+               executed: "int | None" = None,
+               remaining: "int | None" = None) -> str:
+        """The status text (pure; exercised directly by tests).
+
+        ``executed``/``remaining`` are the *actually executed* and
+        *still to execute* work-unit counts the ETA rate is built from.
+        The engine passes unique-digest counts, so cache hits,
+        journal-replayed points, and deduped duplicate positions — all
+        of which complete in ~zero time — never contaminate the
+        per-point rate estimate.  Without them the line falls back to
+        position arithmetic (``done - cached`` / ``total - done``),
+        which over-counts when any position was served for free.
+        """
         parts = [f"[sweep] {done}/{self.total} done"]
         if running:
             parts.append(f"{running} running")
         if self.total:
             parts.append(f"cache {cached}/{self.total}")
-        executed = done - cached
-        remaining = self.total - done
+        if executed is None:
+            executed = done - cached
+        if remaining is None:
+            remaining = self.total - done
         if executed > 0 and remaining > 0:
             elapsed = time.perf_counter() - self._start
             eta = elapsed / executed * remaining
@@ -329,10 +343,13 @@ class ProgressLine:
         return " | ".join(parts)
 
     def update(self, done: int, cached: int, running: int,
-               slowest: "tuple[str, float] | None" = None) -> None:
+               slowest: "tuple[str, float] | None" = None,
+               executed: "int | None" = None,
+               remaining: "int | None" = None) -> None:
         if not self.enabled:
             return
-        text = self.render(done, cached, running, slowest)
+        text = self.render(done, cached, running, slowest,
+                           executed=executed, remaining=remaining)
         pad = max(0, self._last_width - len(text))
         self._last_width = len(text)
         self.stream.write("\r" + text + " " * pad)

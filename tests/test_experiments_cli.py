@@ -10,7 +10,7 @@ def test_every_experiment_registered():
     assert set(EXPERIMENTS) == {
         "figure1", "figure3", "figure7", "figure8",
         "table1", "table2", "table3", "scaling", "resilience",
-        "traced-run",
+        "traced-run", "sharded-run",
     }
 
 
